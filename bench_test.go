@@ -1,0 +1,313 @@
+// Package seldon_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation section (§7). Each benchmark
+// runs the corresponding experiment end-to-end over the synthetic corpus
+// and reports, besides ns/op, the experiment's headline metrics via
+// b.ReportMetric, so `go test -bench=.` reproduces the paper's numbers.
+//
+// Mapping (see DESIGN.md for the full index):
+//
+//	BenchmarkTable1DatasetStats      — Table 1
+//	BenchmarkTable2MerlinScalability — Table 2
+//	BenchmarkTable3MerlinPrecision95 — Table 3
+//	BenchmarkTable4MerlinTop5        — Table 4
+//	BenchmarkTable5SeldonPrecision   — Table 5
+//	BenchmarkTable6BugCategories     — Table 6
+//	BenchmarkTable7ReportCounts      — Table 7
+//	BenchmarkFig10Scaling            — Figure 10
+//	BenchmarkFig11ScorePrecision     — Figure 11
+//	BenchmarkQ5CrossProject          — §7.5 Q5
+//	BenchmarkQ6SeedAblation          — §7.5 Q6
+//	BenchmarkQ7BugClasses            — §7.5 Q7 / App. C
+//	BenchmarkAblation*               — design-choice ablations (§4.2, §4.4, §4.3)
+package seldon_test
+
+import (
+	"testing"
+
+	"seldon/internal/constraints"
+	"seldon/internal/core"
+	"seldon/internal/corpus"
+	"seldon/internal/eval"
+	"seldon/internal/propgraph"
+	"seldon/internal/report"
+)
+
+// benchFiles sizes the benchmark corpus; large enough for stable learning
+// dynamics, small enough for `go test -bench=.` to stay in minutes.
+const benchFiles = 240
+
+func newExperiments() *report.Experiments {
+	return report.New(corpus.Config{Files: benchFiles, Seed: 1})
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		t1 := e.RunTable1()
+		b.ReportMetric(float64(t1.Candidates), "candidates")
+		b.ReportMetric(t1.AvgBackoff, "avg-backoff")
+		b.ReportMetric(float64(t1.Constraints), "constraints")
+	}
+}
+
+func BenchmarkTable2MerlinScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		t2 := e.RunTable2()
+		small, large := t2.Rows[1], t2.Rows[3] // uncollapsed rows
+		b.ReportMetric(float64(small.Factors), "factors-small")
+		b.ReportMetric(float64(large.Factors), "factors-large")
+		b.ReportMetric(large.Time.Seconds(), "merlin-large-s")
+		b.ReportMetric(t2.SeldonLargeTime.Seconds(), "seldon-large-s")
+	}
+}
+
+func BenchmarkTable3MerlinPrecision95(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		t3 := e.RunTable3()
+		n, correct := 0, 0.0
+		for _, row := range t3.Uncollapsed {
+			n += row.Number
+			correct += row.Precision * float64(row.Number)
+		}
+		if n > 0 {
+			b.ReportMetric(correct/float64(n), "precision")
+		}
+		b.ReportMetric(float64(n), "predictions")
+	}
+}
+
+func BenchmarkTable4MerlinTop5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		t4 := e.RunTable4()
+		n, correct := 0, 0.0
+		for _, row := range t4.Collapsed {
+			n += row.Number
+			correct += row.Precision * float64(row.Number)
+		}
+		if n > 0 {
+			b.ReportMetric(correct/float64(n), "precision")
+		}
+	}
+}
+
+func BenchmarkTable5SeldonPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		t5 := e.RunTable5()
+		b.ReportMetric(t5.OverallPrecision, "precision")
+		b.ReportMetric(t5.Recall.Fraction(), "catalog-recall")
+		b.ReportMetric(float64(t5.OverallPredicted), "predicted")
+		for _, row := range t5.Rows {
+			switch row.Role {
+			case propgraph.Source:
+				b.ReportMetric(row.Precision, "src-precision")
+			case propgraph.Sanitizer:
+				b.ReportMetric(row.Precision, "san-precision")
+			case propgraph.Sink:
+				b.ReportMetric(row.Precision, "snk-precision")
+			}
+		}
+	}
+}
+
+func BenchmarkTable6BugCategories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		t6 := e.RunTable6()
+		b.ReportMetric(float64(t6.Seed[eval.MissingSanitizer]), "seed-missing-san")
+		b.ReportMetric(float64(t6.Inferred[eval.MissingSanitizer]), "inf-missing-san")
+		b.ReportMetric(float64(t6.Inferred[eval.TrueVulnerability]), "inf-true-vuln")
+	}
+}
+
+func BenchmarkTable7ReportCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		t7 := e.RunTable7()
+		b.ReportMetric(float64(t7.Seed.Reports), "seed-reports")
+		b.ReportMetric(float64(t7.Inferred.Reports), "inferred-reports")
+		b.ReportMetric(float64(t7.Inferred.EstimatedVuln), "est-vulns")
+	}
+}
+
+func BenchmarkFig10Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		fig := e.RunFig10([]int{60, 120, 240})
+		first, last := fig.Points[0], fig.Points[len(fig.Points)-1]
+		b.ReportMetric(float64(first.Constraints), "constraints-60f")
+		b.ReportMetric(float64(last.Constraints), "constraints-240f")
+		// Linearity indicator: constraints per file should stay flat.
+		b.ReportMetric(float64(last.Constraints)/float64(last.Files), "constraints-per-file")
+		b.ReportMetric(last.Time.Seconds(), "solve-240f-s")
+	}
+}
+
+func BenchmarkFig11ScorePrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		fig := e.RunFig11()
+		for _, role := range propgraph.Roles() {
+			curve := fig.Curves[role]
+			if len(curve) > 0 {
+				b.ReportMetric(curve[len(curve)-1].CumPrecision, role.String()+"-final-prec")
+			}
+		}
+	}
+}
+
+func BenchmarkQ5CrossProject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		q5 := e.RunQ5(3)
+		var indiv, proj float64
+		newRoles := 0
+		for _, p := range q5.Projects {
+			indiv += p.IndividualPrecision
+			proj += p.ProjectedPrecision
+			newRoles += p.NewTrueRoles
+		}
+		n := float64(len(q5.Projects))
+		b.ReportMetric(indiv/n, "individual-precision")
+		b.ReportMetric(proj/n, "projected-precision")
+		b.ReportMetric(float64(newRoles), "new-true-roles")
+	}
+}
+
+func BenchmarkQ6SeedAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		q6 := e.RunQ6()
+		b.ReportMetric(q6.Rows[0].Precision, "full-seed-precision")
+		b.ReportMetric(q6.Rows[1].Precision, "half-seed-precision")
+		b.ReportMetric(float64(q6.Rows[2].Predicted), "empty-seed-predictions")
+	}
+}
+
+func BenchmarkQ7BugClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		q7 := e.RunQ7()
+		b.ReportMetric(float64(q7.Total), "confirmed-vulns")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations over the design choices called out in DESIGN.md.
+
+// learnWith runs full-corpus learning under a modified configuration and
+// returns overall precision and prediction count.
+func learnWith(mutate func(*core.Config)) (precision float64, predicted int) {
+	c := corpus.Generate(corpus.Config{Files: benchFiles, Seed: 1})
+	seed := corpus.ExperimentSeed()
+	cfg := core.Config{}
+	mutate(&cfg)
+	res := core.LearnFromSources(c.FileMap(), seed, cfg)
+	entries := res.LearnedEntries(seed)
+	pr := eval.SamplePrecision(entries, c.Truth, 50, 1)
+	return pr.Overall().Precision(), len(entries)
+}
+
+// BenchmarkAblationC compares the implication-strength constant C = 0.75
+// (the paper's choice) with C = 1 (§4.2: "performs significantly better
+// than C = 1").
+func BenchmarkAblationC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p75, n75 := learnWith(func(c *core.Config) { c.Constraints.C = 0.75 })
+		p100, n100 := learnWith(func(c *core.Config) { c.Constraints.C = 1.0 })
+		b.ReportMetric(p75, "precision-C0.75")
+		b.ReportMetric(float64(n75), "specs-C0.75")
+		b.ReportMetric(p100, "precision-C1.0")
+		b.ReportMetric(float64(n100), "specs-C1.0")
+	}
+}
+
+// BenchmarkAblationLambda sweeps the L1 weight (§4.4: "decreasing λ by a
+// factor of 10 increases the number of inferred specifications by a
+// factor of around 2").
+func BenchmarkAblationLambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, lambda := range []float64{0.01, 0.1, 1.0} {
+			_, n := learnWith(func(c *core.Config) { c.Constraints.Lambda = lambda })
+			switch lambda {
+			case 0.01:
+				b.ReportMetric(float64(n), "specs-lambda0.01")
+			case 0.1:
+				b.ReportMetric(float64(n), "specs-lambda0.1")
+			case 1.0:
+				b.ReportMetric(float64(n), "specs-lambda1.0")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBackoff compares full backoff (§4.3) with the
+// most-specific-representation-only variant used by the adapted Merlin
+// (§6.2), by raising the cutoff so high that only frequent suffixes
+// survive versus keeping everything.
+func BenchmarkAblationBackoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pFull, nFull := learnWith(func(c *core.Config) { c.Constraints.BackoffCutoff = 5 })
+		pNone, nNone := learnWith(func(c *core.Config) { c.Constraints.BackoffCutoff = 1 })
+		b.ReportMetric(pFull, "precision-cutoff5")
+		b.ReportMetric(float64(nFull), "specs-cutoff5")
+		b.ReportMetric(pNone, "precision-cutoff1")
+		b.ReportMetric(float64(nNone), "specs-cutoff1")
+	}
+}
+
+// BenchmarkAblationArgSensitivity measures the §3.3 argument-sensitivity
+// extension: restricting sinks to their dangerous argument removes the
+// Table 6 "flows into wrong parameter" reports.
+func BenchmarkAblationArgSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		a := e.RunArgSensitivity()
+		b.ReportMetric(float64(a.PlainWrongParam), "wrongparam-plain")
+		b.ReportMetric(float64(a.ArgAwareWrongParam), "wrongparam-argaware")
+		b.ReportMetric(float64(a.TrueVulnArgAware), "true-vulns-kept")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks: per-file pipeline cost.
+
+func BenchmarkPipelinePerFile(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Files: 40, Seed: 1})
+	files := c.FileMap()
+	seed := corpus.ExperimentSeed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LearnFromSources(files, seed, core.Config{
+			Constraints: constraints.Options{BackoffCutoff: 2},
+		})
+	}
+}
+
+// BenchmarkAblationCollapsedLearning compares specification learning on
+// collapsed vs uncollapsed propagation graphs (§6.4).
+func BenchmarkAblationCollapsedLearning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		c := e.RunCollapsedLearning()
+		b.ReportMetric(c.UncollapsedPrecision, "uncollapsed-precision")
+		b.ReportMetric(c.CollapsedPrecision, "collapsed-precision")
+		b.ReportMetric(float64(c.CollapsedSpecs), "collapsed-specs")
+	}
+}
+
+// BenchmarkMerlinSweep is the anti-Fig.10: Merlin factor growth vs Seldon
+// time as application size quadruples.
+func BenchmarkMerlinSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newExperiments()
+		sweep := e.RunMerlinSweep([]int{24, 96}, true)
+		small, large := sweep.Points[0], sweep.Points[1]
+		b.ReportMetric(float64(small.MerlinFactors), "factors-24f")
+		b.ReportMetric(float64(large.MerlinFactors), "factors-96f")
+		b.ReportMetric(large.SeldonTime.Seconds(), "seldon-96f-s")
+	}
+}

@@ -1,0 +1,106 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section over the synthetic corpus.
+//
+// Usage:
+//
+//	benchtables -all
+//	benchtables -table 5
+//	benchtables -fig 10
+//	benchtables -table q5 -files 600
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"seldon/internal/corpus"
+	"seldon/internal/propgraph"
+	"seldon/internal/report"
+)
+
+func main() {
+	var (
+		files    = flag.Int("files", 400, "corpus size in files")
+		seed     = flag.Int64("seed", 1, "corpus generator seed")
+		tableArg = flag.String("table", "", "table to print: 1..8, 9, 10, q5, q6, 7q, args, collapsed, msweep")
+		figArg   = flag.String("fig", "", "figure to print: 10 or 11")
+		all      = flag.Bool("all", false, "print every table and figure")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	)
+	flag.Parse()
+
+	e := report.New(corpus.Config{Files: *files, Seed: *seed})
+	emit := func(name string, result interface{ Render() string }) {
+		if *asJSON {
+			out := map[string]any{"experiment": name, "result": result}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(result.Render())
+	}
+	run := func(name string) {
+		switch name {
+		case "1":
+			emit(name, e.RunTable1())
+		case "2":
+			emit(name, e.RunTable2())
+		case "3":
+			emit(name, e.RunTable3())
+		case "4":
+			emit(name, e.RunTable4())
+		case "5":
+			emit(name, e.RunTable5())
+		case "6":
+			emit(name, e.RunTable6())
+		case "7":
+			emit(name, e.RunTable7())
+		case "8":
+			fmt.Println(e.RunSampleTable(propgraph.Source, 50))
+		case "9":
+			fmt.Println(e.RunSampleTable(propgraph.Sanitizer, 50))
+		case "10":
+			fmt.Println(e.RunSampleTable(propgraph.Sink, 50))
+		case "args":
+			emit(name, e.RunArgSensitivity())
+		case "msweep":
+			emit(name, e.RunMerlinSweep([]int{24, 48, 96, 192}, true))
+		case "collapsed":
+			emit(name, e.RunCollapsedLearning())
+		case "q5":
+			emit(name, e.RunQ5(3))
+		case "q6":
+			emit(name, e.RunQ6())
+		case "7q", "q7":
+			emit(name, e.RunQ7())
+		case "fig10":
+			emit(name, e.RunFig10([]int{100, 200, 300, 400, 500, 600}))
+		case "fig11":
+			emit(name, e.RunFig11())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, name := range []string{"1", "2", "3", "4", "5", "6", "7",
+			"fig10", "fig11", "q5", "q6", "q7", "args", "collapsed", "msweep", "8", "9", "10"} {
+			run(name)
+		}
+	case *tableArg != "":
+		run(*tableArg)
+	case *figArg != "":
+		run("fig" + *figArg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

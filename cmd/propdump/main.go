@@ -1,0 +1,85 @@
+// Command propdump extracts propagation graphs from Python files and
+// writes them as JSON, separating the paper pipeline's extraction phase
+// from the learning phase (parse once, learn many times).
+//
+// Usage:
+//
+//	propdump -dir path/to/repo -out graphs.json    # one union graph
+//	propdump file.py                               # single file to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"seldon/internal/dataflow"
+	"seldon/internal/propgraph"
+	"seldon/internal/pyparse"
+)
+
+func main() {
+	var (
+		dir = flag.String("dir", "", "directory to scan for .py files")
+		out = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	paths := flag.Args()
+	if *dir != "" {
+		err := filepath.WalkDir(*dir, func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".py") {
+				paths = append(paths, path)
+			}
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "propdump: no input files")
+		os.Exit(2)
+	}
+	sort.Strings(paths)
+
+	var graphs []*propgraph.Graph
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		mod, perr := pyparse.Parse(path, string(data))
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "propdump: %v (continuing)\n", perr)
+		}
+		graphs = append(graphs, dataflow.AnalyzeModule(mod, dataflow.Options{}))
+	}
+	union := propgraph.Union(graphs...)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := union.Encode(w); err != nil {
+		fatal(err)
+	}
+	st := union.ComputeStats()
+	fmt.Fprintf(os.Stderr, "propdump: %d files, %d events (%d candidates), %d edges\n",
+		len(paths), st.Events, st.Candidates, st.Edges)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "propdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Merlincompare: run Seldon and the Merlin baseline on the same
+// application and compare predictions, factor counts, and timing — the
+// §7.4 head-to-head, on one generated project.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"seldon/internal/core"
+	"seldon/internal/corpus"
+	"seldon/internal/dataflow"
+	"seldon/internal/merlin"
+	"seldon/internal/propgraph"
+)
+
+func main() {
+	c := corpus.Generate(corpus.Config{Files: 48, Seed: 3})
+	seed := corpus.ExperimentSeed()
+	project := c.Projects()[0]
+	files := c.ProjectFiles(project)
+	fmt.Printf("application: project %s (%d files)\n\n", project, len(files))
+
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var graphs []*propgraph.Graph
+	for _, n := range names {
+		g, err := dataflow.AnalyzeSource(n, files[n])
+		if err != nil {
+			panic(err)
+		}
+		graphs = append(graphs, g)
+	}
+	g := propgraph.Union(graphs...)
+
+	// Seldon.
+	cfg := core.Config{}
+	cfg.Constraints.BackoffCutoff = 2
+	seldonRes := core.Learn(g, seed, cfg)
+	fmt.Printf("Seldon:  %4d constraints, %3d variables, solved in %8s, %d predictions\n",
+		len(seldonRes.System.Problem.Constraints), len(seldonRes.System.Vars),
+		seldonRes.InferenceTime.Round(1e6), len(seldonRes.Predictions))
+
+	// Merlin, on both graph granularities (§6.4).
+	for _, collapsed := range []bool{false, true} {
+		mg := g
+		label := "uncollapsed"
+		if collapsed {
+			mg = g.Collapse()
+			label = "collapsed"
+		}
+		res, err := merlin.Infer(mg, seed, merlin.Options{})
+		if err != nil {
+			fmt.Printf("Merlin (%s): %v\n", label, err)
+			continue
+		}
+		fmt.Printf("Merlin (%s): %5d factors, inference in %8s, %d predictions at 95%%\n",
+			label, res.NumFactors, res.InferenceTime.Round(1e6), len(res.Predict(0.95)))
+	}
+
+	// Compare the top sanitizer of both systems.
+	fmt.Println("\ntop Seldon sanitizers:")
+	n := 0
+	for _, e := range seldonRes.LearnedEntries(seed) {
+		if e.Role == propgraph.Sanitizer && n < 5 {
+			n++
+			fmt.Printf("  %.3f %s\n", e.Score, e.Rep)
+		}
+	}
+	mres, err := merlin.Infer(g, seed, merlin.Options{})
+	if err == nil {
+		fmt.Println("top Merlin sanitizers:")
+		for _, p := range mres.TopK(propgraph.Sanitizer, 5) {
+			fmt.Printf("  %.3f %s\n", p.Marginal, p.Rep)
+		}
+	}
+}

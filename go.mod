@@ -1,0 +1,3 @@
+module seldon
+
+go 1.22

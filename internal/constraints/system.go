@@ -1,0 +1,424 @@
+// Package constraints turns a global propagation graph and a seed
+// specification into the relaxed linear constraint system of paper §4:
+// one variable per (representation, role), information-flow constraints
+// following the three patterns of Fig. 4, backoff averaging (§4.3), and
+// equality constraints for the hand-labeled seed (§4.1).
+package constraints
+
+import (
+	"sort"
+
+	"seldon/internal/lp"
+	"seldon/internal/propgraph"
+	"seldon/internal/spec"
+)
+
+// Options configures constraint generation.
+type Options struct {
+	// C is the implication-strength constant (paper: 0.75).
+	C float64
+	// Lambda is the L1 regularization weight (paper: 0.1).
+	Lambda float64
+	// BackoffCutoff drops representations occurring fewer times in the
+	// dataset (paper: 5). Seed representations always survive.
+	BackoffCutoff int
+	// MaxComponent skips constraint generation inside weakly connected
+	// components larger than this bound (guards against pathological
+	// generated files). Default 50000.
+	MaxComponent int
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.75
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 0.1
+	}
+	if o.BackoffCutoff == 0 {
+		o.BackoffCutoff = 5
+	}
+	if o.MaxComponent == 0 {
+		o.MaxComponent = 50000
+	}
+	return o
+}
+
+// Variable identifies one score in the system.
+type Variable struct {
+	Rep  string
+	Role propgraph.Role
+}
+
+// EventInfo records, per candidate event, the representations that
+// survived the frequency cutoff and blacklist (most specific first).
+type EventInfo struct {
+	EventID int
+	Reps    []string
+	Roles   propgraph.RoleSet
+}
+
+// System is the constraint system plus the metadata needed to map solver
+// scores back to events and representations.
+type System struct {
+	Problem *lp.Problem
+	Vars    []Variable
+	// varIndex maps (rep, role) to a variable index.
+	varIndex map[Variable]int
+	// EventInfos lists candidate events in event-ID order.
+	EventInfos []EventInfo
+	// infoByEvent maps event ID to its position in EventInfos (or -1).
+	infoByEvent []int
+	// Counts of generated constraints by pattern (Fig. 4a, 4b, 4c).
+	CountA, CountB, CountC int
+	// SkippedComponents counts components over the MaxComponent bound.
+	SkippedComponents int
+	Opts              Options
+}
+
+// VarID returns the variable index for (rep, role), or -1.
+func (s *System) VarID(rep string, role propgraph.Role) int {
+	id, ok := s.varIndex[Variable{Rep: rep, Role: role}]
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// InfoFor returns the EventInfo for an event ID, or nil if the event is
+// not a candidate.
+func (s *System) InfoFor(eventID int) *EventInfo {
+	if eventID < 0 || eventID >= len(s.infoByEvent) || s.infoByEvent[eventID] < 0 {
+		return nil
+	}
+	return &s.EventInfos[s.infoByEvent[eventID]]
+}
+
+// Build constructs the constraint system for a global propagation graph.
+func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
+	opts = opts.withDefaults()
+	s := &System{
+		varIndex:    make(map[Variable]int),
+		infoByEvent: make([]int, len(g.Events)),
+		Opts:        opts,
+	}
+
+	// Pass 1: representation frequencies across the dataset.
+	repCount := make(map[string]int)
+	for _, e := range g.Events {
+		for _, r := range e.Reps {
+			repCount[r]++
+		}
+	}
+
+	// Pass 2: candidate events and their surviving representations.
+	for i := range s.infoByEvent {
+		s.infoByEvent[i] = -1
+	}
+	for _, e := range g.Events {
+		var reps []string
+		for _, r := range e.Reps {
+			if seed.Blacklisted(r) {
+				continue
+			}
+			if repCount[r] >= opts.BackoffCutoff || seed.RolesOf(r) != 0 {
+				reps = append(reps, r)
+			}
+		}
+		if len(reps) == 0 {
+			continue
+		}
+		s.infoByEvent[e.ID] = len(s.EventInfos)
+		s.EventInfos = append(s.EventInfos, EventInfo{EventID: e.ID, Reps: reps, Roles: e.Roles})
+	}
+
+	// Pass 3: variables, one per surviving (rep, role).
+	for i := range s.EventInfos {
+		info := &s.EventInfos[i]
+		for _, role := range propgraph.Roles() {
+			if !info.Roles.Has(role) {
+				continue
+			}
+			for _, rep := range info.Reps {
+				key := Variable{Rep: rep, Role: role}
+				if _, ok := s.varIndex[key]; !ok {
+					s.varIndex[key] = len(s.Vars)
+					s.Vars = append(s.Vars, key)
+				}
+			}
+		}
+	}
+
+	// Known variables from the seed: an entry pins its role to 1 and the
+	// rep's other roles to 0 (§4.1). Seed entries are fully qualified
+	// names, i.e. longest backoff options.
+	known := make(map[int]float64)
+	for _, v := range s.Vars {
+		roles := seed.RolesOf(v.Rep)
+		if roles == 0 {
+			continue
+		}
+		if roles.Has(v.Role) {
+			known[s.varIndex[v]] = 1
+		} else {
+			known[s.varIndex[v]] = 0
+		}
+	}
+
+	s.Problem = &lp.Problem{
+		NumVars: len(s.Vars),
+		C:       opts.C,
+		Lambda:  opts.Lambda,
+		Known:   known,
+	}
+
+	// Pass 4: flow constraints per weakly connected component.
+	s.buildFlowConstraints(g)
+	return s
+}
+
+// terms builds the backoff-averaged linear terms for an event playing a
+// role: the average of its surviving representations' variables (§4.3).
+func (s *System) terms(info *EventInfo, role propgraph.Role) []lp.Term {
+	if info == nil || !info.Roles.Has(role) {
+		return nil
+	}
+	coef := 1.0 / float64(len(info.Reps))
+	out := make([]lp.Term, 0, len(info.Reps))
+	for _, rep := range info.Reps {
+		if id := s.VarID(rep, role); id >= 0 {
+			out = append(out, lp.Term{Var: id, Coef: coef})
+		}
+	}
+	return out
+}
+
+// candidate role tests over EventInfo.
+func (s *System) isCand(id int, role propgraph.Role) bool {
+	info := s.InfoFor(id)
+	return info != nil && info.Roles.Has(role)
+}
+
+// buildFlowConstraints enumerates the Fig. 4 patterns using per-component
+// forward reachability over the (acyclic) propagation graph.
+func (s *System) buildFlowConstraints(g *propgraph.Graph) {
+	n := len(g.Events)
+	comp := weakComponents(g)
+	// Group events by component.
+	byComp := make(map[int][]int)
+	for id := 0; id < n; id++ {
+		byComp[comp[id]] = append(byComp[comp[id]], id)
+	}
+	compIDs := make([]int, 0, len(byComp))
+	for c := range byComp {
+		compIDs = append(compIDs, c)
+	}
+	sort.Ints(compIDs)
+	for _, c := range compIDs {
+		events := byComp[c]
+		if len(events) < 2 {
+			continue
+		}
+		if len(events) > s.Opts.MaxComponent {
+			s.SkippedComponents++
+			continue
+		}
+		s.buildComponent(g, events)
+	}
+}
+
+// buildComponent generates constraints inside one component.
+func (s *System) buildComponent(g *propgraph.Graph, events []int) {
+	m := len(events)
+	local := make(map[int]int, m)
+	for i, id := range events {
+		local[id] = i
+	}
+	// Topological order. Analyzer-built graphs are DAGs; hand-built
+	// graphs may contain cycles, in which case the sort is incomplete and
+	// reachability falls back to a fixpoint iteration below.
+	indeg := make([]int, m)
+	for _, id := range events {
+		for _, dst := range g.Succs(id) {
+			if j, ok := local[dst]; ok {
+				indeg[j]++
+			}
+		}
+	}
+	queue := make([]int, 0, m)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, m)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, dst := range g.Succs(events[i]) {
+			if j, ok := local[dst]; ok {
+				indeg[j]--
+				if indeg[j] == 0 {
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+
+	// Forward reachability bitsets: one reverse-topological pass for DAGs,
+	// fixpoint iteration when the component is cyclic (the paper notes the
+	// method supports cycles in principle, §5.2).
+	fwd := make([]bitset, m)
+	for i := range fwd {
+		fwd[i] = newBitset(m)
+	}
+	if len(order) == m {
+		for k := len(order) - 1; k >= 0; k-- {
+			i := order[k]
+			for _, dst := range g.Succs(events[i]) {
+				if j, ok := local[dst]; ok {
+					fwd[i].set(j)
+					fwd[i].or(fwd[j])
+				}
+			}
+		}
+	} else {
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i < m; i++ {
+				for _, dst := range g.Succs(events[i]) {
+					if j, ok := local[dst]; ok {
+						if fwd[i].setChanged(j) {
+							changed = true
+						}
+						if fwd[i].orChanged(fwd[j]) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Sources flowing into each sanitizer candidate.
+	srcsOf := make(map[int][]int) // local sanitizer index -> local source indices
+	for i := 0; i < m; i++ {
+		if !s.isCand(events[i], propgraph.Source) {
+			continue
+		}
+		fwd[i].forEach(func(j int) {
+			if s.isCand(events[j], propgraph.Sanitizer) {
+				srcsOf[j] = append(srcsOf[j], i)
+			}
+		})
+	}
+
+	addConstraint := func(lhs, rhs []lp.Term, kind *int) {
+		if len(lhs) == 0 {
+			return
+		}
+		s.Problem.Constraints = append(s.Problem.Constraints, lp.Constraint{LHS: lhs, RHS: rhs})
+		*kind++
+	}
+
+	for i := 0; i < m; i++ {
+		ei := events[i]
+		switch {
+		case s.isCand(ei, propgraph.Sanitizer):
+			sanTerms := s.terms(s.InfoFor(ei), propgraph.Sanitizer)
+			// Sinks reachable from this sanitizer.
+			var sinks []int
+			fwd[i].forEach(func(j int) {
+				if s.isCand(events[j], propgraph.Sink) {
+					sinks = append(sinks, j)
+				}
+			})
+			srcs := srcsOf[i]
+
+			// Fig. 4a: san(i) + snk(t) <= Σ src(u) + C, per sink t.
+			var srcSum []lp.Term
+			for _, u := range srcs {
+				srcSum = append(srcSum, s.terms(s.InfoFor(events[u]), propgraph.Source)...)
+			}
+			for _, t := range sinks {
+				lhs := append(append([]lp.Term(nil), sanTerms...),
+					s.terms(s.InfoFor(events[t]), propgraph.Sink)...)
+				addConstraint(lhs, srcSum, &s.CountA)
+			}
+
+			// Fig. 4b: src(u) + san(i) <= Σ snk(t) + C, per source u.
+			var snkSum []lp.Term
+			for _, t := range sinks {
+				snkSum = append(snkSum, s.terms(s.InfoFor(events[t]), propgraph.Sink)...)
+			}
+			for _, u := range srcs {
+				lhs := append(append([]lp.Term(nil),
+					s.terms(s.InfoFor(events[u]), propgraph.Source)...), sanTerms...)
+				addConstraint(lhs, snkSum, &s.CountB)
+			}
+		}
+
+		// Fig. 4c: src(i) + snk(t) <= Σ san(s on some i→t path) + C.
+		if s.isCand(ei, propgraph.Source) {
+			srcTerms := s.terms(s.InfoFor(ei), propgraph.Source)
+			var sanMid []int
+			fwd[i].forEach(func(j int) {
+				if s.isCand(events[j], propgraph.Sanitizer) {
+					sanMid = append(sanMid, j)
+				}
+			})
+			fwd[i].forEach(func(t int) {
+				if !s.isCand(events[t], propgraph.Sink) {
+					return
+				}
+				var sanSum []lp.Term
+				for _, sMid := range sanMid {
+					if fwd[sMid].has(t) {
+						sanSum = append(sanSum,
+							s.terms(s.InfoFor(events[sMid]), propgraph.Sanitizer)...)
+					}
+				}
+				lhs := append(append([]lp.Term(nil), srcTerms...),
+					s.terms(s.InfoFor(events[t]), propgraph.Sink)...)
+				addConstraint(lhs, sanSum, &s.CountC)
+			})
+		}
+	}
+}
+
+// weakComponents labels each event with a weakly-connected-component ID.
+func weakComponents(g *propgraph.Graph) []int {
+	n := len(g.Events)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		comp[start] = next
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range g.Succs(id) {
+				if comp[nb] < 0 {
+					comp[nb] = next
+					stack = append(stack, nb)
+				}
+			}
+			for _, nb := range g.Preds(id) {
+				if comp[nb] < 0 {
+					comp[nb] = next
+					stack = append(stack, nb)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}

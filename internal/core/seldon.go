@@ -1,0 +1,192 @@
+// Package core implements Seldon's end-to-end specification-learning
+// pipeline (paper Fig. 1): per-program propagation graphs are merged into
+// a global graph, the linear constraint system of §4 is built and solved
+// with projected Adam, and roles are selected per event with the
+// exponentially decaying backoff threshold of §7.1.
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"seldon/internal/constraints"
+	"seldon/internal/dataflow"
+	"seldon/internal/lp"
+	"seldon/internal/propgraph"
+	"seldon/internal/pyparse"
+	"seldon/internal/spec"
+)
+
+// Config collects the tunable parameters; zero values select the paper's
+// settings (C = 0.75, λ = 0.1, backoff cutoff 5, threshold 0.1, decay 0.8).
+type Config struct {
+	Constraints constraints.Options
+	Solver      lp.Options
+	// Threshold t for selecting roles (§7.2: 0.1).
+	Threshold float64
+	// BackoffDecay discounts less specific backoff options: option i
+	// (0-based) is selected when decay^i * score >= Threshold (§7.1: 0.8).
+	BackoffDecay float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.1
+	}
+	if c.BackoffDecay == 0 {
+		c.BackoffDecay = 0.8
+	}
+	return c
+}
+
+// Prediction is one selected (event, role) with the representation and
+// score that triggered the selection.
+type Prediction struct {
+	EventID int
+	Role    propgraph.Role
+	Rep     string  // the triggering (most specific passing) representation
+	Score   float64 // raw solver score of that representation
+	Backoff int     // index of the triggering backoff option
+}
+
+// Result is the outcome of a learning run.
+type Result struct {
+	Graph         *propgraph.Graph
+	System        *constraints.System
+	Solution      []float64
+	InferenceTime time.Duration
+
+	// Predictions lists every selected (event, role), event-ID order.
+	Predictions []Prediction
+	// EventRoles aggregates predictions per event.
+	EventRoles map[int]propgraph.RoleSet
+}
+
+// Learn runs specification inference over a global propagation graph.
+func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	sys := constraints.Build(g, seed, cfg.Constraints)
+	sol := lp.Minimize(sys.Problem, cfg.Solver)
+	res := &Result{
+		Graph:         g,
+		System:        sys,
+		Solution:      sol.X,
+		EventRoles:    make(map[int]propgraph.RoleSet),
+		InferenceTime: time.Since(start),
+	}
+	res.selectRoles(cfg)
+	return res
+}
+
+// LearnFromSources parses and analyzes a set of Python files (name →
+// source text) and learns over their union graph. File order is made
+// deterministic by sorting names. Parse errors are tolerated: files
+// contribute whatever was recovered.
+func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Result {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	graphs := make([]*propgraph.Graph, 0, len(names))
+	for _, n := range names {
+		mod, _ := pyparse.Parse(n, files[n])
+		graphs = append(graphs, dataflow.AnalyzeModule(mod, dataflow.Options{}))
+	}
+	return Learn(propgraph.Union(graphs...), seed, cfg)
+}
+
+// ScoreOf returns the solver score for (rep, role), or 0 when the
+// representation has no variable.
+func (r *Result) ScoreOf(rep string, role propgraph.Role) float64 {
+	id := r.System.VarID(rep, role)
+	if id < 0 {
+		return 0
+	}
+	return r.Solution[id]
+}
+
+// selectRoles applies §7.1: for each candidate event and allowed role,
+// walk the backoff options from most to least specific and select the
+// role if decay^i * score_i passes the threshold.
+func (r *Result) selectRoles(cfg Config) {
+	for idx := range r.System.EventInfos {
+		info := &r.System.EventInfos[idx]
+		for _, role := range propgraph.Roles() {
+			if !info.Roles.Has(role) {
+				continue
+			}
+			for i, rep := range info.Reps {
+				score := r.ScoreOf(rep, role)
+				if math.Pow(cfg.BackoffDecay, float64(i))*score >= cfg.Threshold {
+					r.Predictions = append(r.Predictions, Prediction{
+						EventID: info.EventID, Role: role, Rep: rep,
+						Score: score, Backoff: i,
+					})
+					r.EventRoles[info.EventID] = r.EventRoles[info.EventID].With(role)
+					break
+				}
+			}
+		}
+	}
+}
+
+// PredictedCounts returns the number of events predicted for each role.
+func (r *Result) PredictedCounts() map[propgraph.Role]int {
+	out := make(map[propgraph.Role]int)
+	for _, p := range r.Predictions {
+		out[p.Role]++
+	}
+	return out
+}
+
+// LearnedSpec converts the predictions into a representation-level
+// specification usable by the taint analyzer. Each (rep, role) keeps its
+// maximal score; seed entries are merged in (they remain authoritative).
+func (r *Result) LearnedSpec(seed *spec.Spec) *spec.Spec {
+	s := spec.New()
+	for _, e := range seed.Entries() {
+		s.Add(e.Role, e.Rep)
+	}
+	s.Blacklist = seed.Blacklist
+	for _, p := range r.Predictions {
+		s.Add(p.Role, p.Rep)
+	}
+	return s
+}
+
+// LearnedEntries returns the predictions that are NOT in the seed,
+// deduplicated by (rep, role) with maximal score, sorted by descending
+// score then rep. These are the paper's "inferred specifications".
+func (r *Result) LearnedEntries(seed *spec.Spec) []spec.Entry {
+	type key struct {
+		rep  string
+		role propgraph.Role
+	}
+	best := make(map[key]float64)
+	for _, p := range r.Predictions {
+		if seed.RolesOf(p.Rep).Has(p.Role) {
+			continue
+		}
+		k := key{p.Rep, p.Role}
+		if p.Score > best[k] {
+			best[k] = p.Score
+		}
+	}
+	out := make([]spec.Entry, 0, len(best))
+	for k, sc := range best {
+		out = append(out, spec.Entry{Rep: k.rep, Role: k.role, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Role != out[j].Role {
+			return out[i].Role < out[j].Role
+		}
+		return out[i].Rep < out[j].Rep
+	})
+	return out
+}

@@ -1,0 +1,227 @@
+// Package corpus generates synthetic Python web-application datasets with
+// known ground truth, substituting the paper's GitHub corpus (44,250
+// web-application files). The generator emits Flask/Django/werkzeug-style
+// request handlers, database access, file uploads, templating, wrapper
+// functions, class-based views, and large volumes of security-irrelevant
+// noise code. Every taint-relevant API is drawn from a catalog labeled
+// with its true role, so precision can be computed exactly instead of by
+// manual inspection; each generated flow is recorded with its location,
+// sanitization status, and exploitability for the Table 6/7 experiments.
+package corpus
+
+import "seldon/internal/propgraph"
+
+// vulnClass groups APIs that combine into one vulnerability family.
+type vulnClass string
+
+const (
+	classSQL   vulnClass = "sql"
+	classXSS   vulnClass = "xss"
+	classPath  vulnClass = "path"
+	classCmd   vulnClass = "cmd"
+	classCode  vulnClass = "code"
+	classRedir vulnClass = "redirect"
+)
+
+// apiTemplate describes one catalog API: the import lines it needs, a code
+// template, and the representation the dataflow analyzer will derive (used
+// as ground truth). Seeded marks APIs present in the paper's App. B seed;
+// the rest are the "new" specifications Seldon should learn.
+type apiTemplate struct {
+	imports []string
+	// code is a Python expression with %s placeholders for arguments.
+	code string
+	// rep is the fully qualified representation of the resulting event.
+	rep    string
+	role   propgraph.Role
+	class  vulnClass
+	seeded bool
+}
+
+// sourceAPIs produce user-controlled data. The %s is the parameter name.
+var sourceAPIs = []apiTemplate{
+	{imports: []string{"from flask import request"},
+		code: "request.args.get('%s')", rep: "flask.request.args.get()",
+		role: propgraph.Source, seeded: true},
+	{imports: []string{"from flask import request"},
+		code: "request.form.get('%s')", rep: "flask.request.form.get()",
+		role: propgraph.Source, seeded: true},
+	{imports: []string{"from flask import request"},
+		code: "request.files['f'].filename", rep: "flask.request.files['f'].filename",
+		role: propgraph.Source},
+	{imports: []string{"from flask import request"},
+		code: "request.headers.get('%s')", rep: "flask.request.headers.get()",
+		role: propgraph.Source},
+	{imports: []string{"from flask import request"},
+		code: "request.cookies.get('%s')", rep: "flask.request.cookies.get()",
+		role: propgraph.Source},
+	{imports: []string{"import webapi"},
+		code: "webapi.get_param('%s')", rep: "webapi.get_param()",
+		role: propgraph.Source},
+	{imports: []string{"import bottle"},
+		code: "bottle.request.query.get('%s')", rep: "bottle.request.query.get()",
+		role: propgraph.Source},
+	{imports: []string{"import cherryforms"},
+		code: "cherryforms.field('%s')", rep: "cherryforms.field()",
+		role: propgraph.Source},
+}
+
+// djangoSourceAPIs read user data from a `request` formal parameter
+// (Django passes the request object into every view). Their events are
+// parameter-rooted, so the learner sees both the view-specific and the
+// shared `request.*` backoff representation — the paper's App. B seeds
+// request.GET.get() and request.POST.get() in exactly this form.
+var djangoSourceAPIs = []apiTemplate{
+	{code: "request.GET.get('%s')", rep: "request.GET.get()",
+		role: propgraph.Source, seeded: true},
+	{code: "request.POST.get('%s')", rep: "request.POST.get()",
+		role: propgraph.Source, seeded: true},
+	{code: "request.META.get('%s')", rep: "request.META.get()",
+		role: propgraph.Source},
+	{code: "request.body.decode('%s')", rep: "request.body.decode()",
+		role: propgraph.Source},
+}
+
+// sanitizerAPIs neutralize data for one vulnerability class. The %s is the
+// value being sanitized.
+var sanitizerAPIs = []apiTemplate{
+	{imports: []string{"from werkzeug.utils import secure_filename"},
+		code: "secure_filename(%s)", rep: "werkzeug.utils.secure_filename()",
+		role: propgraph.Sanitizer, class: classPath, seeded: true},
+	{imports: []string{"import pathguard"},
+		code: "pathguard.canonical(%s)", rep: "pathguard.canonical()",
+		role: propgraph.Sanitizer, class: classPath},
+	{imports: []string{"from flask import escape"},
+		code: "escape(%s)", rep: "flask.escape()",
+		role: propgraph.Sanitizer, class: classXSS, seeded: true},
+	{imports: []string{"import bleach"},
+		code: "bleach.clean(%s)", rep: "bleach.clean()",
+		role: propgraph.Sanitizer, class: classXSS, seeded: true},
+	{imports: []string{"import htmlguard"},
+		code: "htmlguard.scrub(%s)", rep: "htmlguard.scrub()",
+		role: propgraph.Sanitizer, class: classXSS},
+	{imports: []string{"import MySQLdb"},
+		code: "MySQLdb.escape_string(%s)", rep: "MySQLdb.escape_string()",
+		role: propgraph.Sanitizer, class: classSQL, seeded: true},
+	{imports: []string{"import sqlguard"},
+		code: "sqlguard.quote(%s)", rep: "sqlguard.quote()",
+		role: propgraph.Sanitizer, class: classSQL},
+	{imports: []string{"import shellguard"},
+		code: "shellguard.quote_arg(%s)", rep: "shellguard.quote_arg()",
+		role: propgraph.Sanitizer, class: classCmd},
+	{imports: []string{"import urlguard"},
+		code: "urlguard.same_origin(%s)", rep: "urlguard.same_origin()",
+		role: propgraph.Sanitizer, class: classRedir},
+}
+
+// sinkAPIs are security-critical operations. The %s is the tainted value.
+var sinkAPIs = []apiTemplate{
+	{imports: []string{"import os"},
+		code: "os.system(%s)", rep: "os.system()",
+		role: propgraph.Sink, class: classCmd, seeded: true},
+	{imports: []string{"import subprocess"},
+		code: "subprocess.call(%s)", rep: "subprocess.call()",
+		role: propgraph.Sink, class: classCmd, seeded: true},
+	{imports: []string{"import shellrun"},
+		code: "shellrun.invoke(%s)", rep: "shellrun.invoke()",
+		role: propgraph.Sink, class: classCmd},
+	{imports: []string{"from flask import render_template_string"},
+		code: "render_template_string(%s)", rep: "flask.render_template_string()",
+		role: propgraph.Sink, class: classXSS, seeded: true},
+	{imports: []string{"from flask import Response"},
+		code: "Response(%s)", rep: "flask.Response()",
+		role: propgraph.Sink, class: classXSS, seeded: true},
+	{imports: []string{"import htmlout"},
+		code: "htmlout.emit(%s)", rep: "htmlout.emit()",
+		role: propgraph.Sink, class: classXSS},
+	{imports: []string{"from flask import send_file"},
+		code: "send_file(%s)", rep: "flask.send_file()",
+		role: propgraph.Sink, class: classPath, seeded: true},
+	{imports: []string{"import filestore"},
+		code: "filestore.write_to(%s)", rep: "filestore.write_to()",
+		role: propgraph.Sink, class: classPath},
+	{imports: []string{"from flask import redirect"},
+		code: "redirect(%s)", rep: "flask.redirect()",
+		role: propgraph.Sink, class: classRedir, seeded: true},
+	{imports: []string{"import webdb"},
+		code: "webdb.runquery(%s)", rep: "webdb.runquery()",
+		role: propgraph.Sink, class: classSQL},
+	{imports: []string{"import templating"},
+		code: "templating.render_raw(%s)", rep: "templating.render_raw()",
+		role: propgraph.Sink, class: classCode},
+}
+
+// noneAPIs are security-irrelevant calls sprinkled into handlers; they
+// must not be learned as any role (false-positive probes). The first five
+// are unary shaping calls usable as pass-throughs.
+var noneAPIs = []apiTemplate{
+	{imports: []string{"import textutil"}, code: "textutil.titlecase(%s)", rep: "textutil.titlecase()"},
+	{imports: []string{"import textutil"}, code: "textutil.wordcount(%s)", rep: "textutil.wordcount()"},
+	{imports: []string{"import metrics"}, code: "metrics.observe(%s)", rep: "metrics.observe()"},
+	{imports: []string{"import cachelib"}, code: "cachelib.memoize(%s)", rep: "cachelib.memoize()"},
+	{imports: []string{"import validators"}, code: "validators.is_email(%s)", rep: "validators.is_email()"},
+	{imports: []string{"import mathx"}, code: "mathx.mean([1, 2, 3])", rep: "mathx.mean()"},
+	{imports: []string{"import clock"}, code: "clock.now_iso()", rep: "clock.now_iso()"},
+	{imports: []string{"import strfmt"}, code: "strfmt.pad(%s)", rep: "strfmt.pad()"},
+	{imports: []string{"import strfmt"}, code: "strfmt.dedent(%s)", rep: "strfmt.dedent()"},
+	{imports: []string{"import listops"}, code: "listops.chunked(%s)", rep: "listops.chunked()"},
+	{imports: []string{"import listops"}, code: "listops.flatten(%s)", rep: "listops.flatten()"},
+	{imports: []string{"import confkit"}, code: "confkit.lookup(%s)", rep: "confkit.lookup()"},
+	{imports: []string{"import confkit"}, code: "confkit.section(%s)", rep: "confkit.section()"},
+	{imports: []string{"import timefmt"}, code: "timefmt.humanize(%s)", rep: "timefmt.humanize()"},
+	{imports: []string{"import idgen"}, code: "idgen.slug(%s)", rep: "idgen.slug()"},
+	{imports: []string{"import colorsx"}, code: "colorsx.darken(%s)", rep: "colorsx.darken()"},
+	{imports: []string{"import tablefmt"}, code: "tablefmt.align(%s)", rep: "tablefmt.align()"},
+	{imports: []string{"import geoutil"}, code: "geoutil.distance(%s)", rep: "geoutil.distance()"},
+	{imports: []string{"import unitconv"}, code: "unitconv.to_celsius(%s)", rep: "unitconv.to_celsius()"},
+	{imports: []string{"import statlib"}, code: "statlib.variance(%s)", rep: "statlib.variance()"},
+}
+
+// djangoViewNames is the pool of Django-style view names. Like real
+// Django projects, names repeat across files, so parameter events such as
+// profile_view(param request) survive the frequency cutoff and can be
+// learned as sources (the paper's Table 8 lists robots(param request) and
+// friends).
+var djangoViewNames = []string{
+	"profile_view", "search_view", "detail_view", "index_view",
+	"comment_view", "upload_view", "export_view", "settings_view",
+}
+
+// sharedHelperNames is the pool of helper-function names reused across
+// noise files. Real codebases repeat the same conventional names project
+// after project, so their parameter events survive the frequency cutoff
+// and become candidate events — keeping the fraction of role-carrying
+// candidates low, as in the paper's dataset (3.27%).
+var sharedHelperNames = []string{
+	"load_config", "render_page", "format_row", "build_index", "merge_maps",
+	"apply_defaults", "normalize_keys", "collect_stats", "prepare_context",
+	"resolve_path", "group_items", "summarize", "paginate", "decorate",
+	"transform", "serialize_row", "parse_row", "diff_items", "select_fields",
+	"annotate",
+}
+
+// sanitizersFor returns the catalog sanitizers usable for a class.
+func sanitizersFor(class vulnClass) []apiTemplate {
+	var out []apiTemplate
+	for _, s := range sanitizerAPIs {
+		if s.class == class {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// sinksFor returns the catalog sinks for a class.
+func sinksFor(class vulnClass) []apiTemplate {
+	var out []apiTemplate
+	for _, s := range sinkAPIs {
+		if s.class == class {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// allClasses lists the vulnerability classes with at least one sink and
+// one sanitizer.
+var allClasses = []vulnClass{classSQL, classXSS, classPath, classCmd, classRedir}

@@ -1,0 +1,245 @@
+package dataflow
+
+import (
+	"strings"
+
+	"seldon/internal/propgraph"
+	"seldon/internal/pyast"
+	"seldon/internal/pyparse"
+)
+
+// Options configures the analyzer.
+type Options struct {
+	// MaxPathSegments caps the length of symbolic paths used to build
+	// event representations; longer chains keep flowing but stop
+	// producing representations. Default 8 (the paper's context bound).
+	MaxPathSegments int
+	// FieldDepth bounds how deep field maps are traversed when
+	// collecting the events carried by an abstract value. Default 3.
+	FieldDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPathSegments == 0 {
+		o.MaxPathSegments = 8
+	}
+	if o.FieldDepth == 0 {
+		o.FieldDepth = 3
+	}
+	return o
+}
+
+// AnalyzeSource parses src and builds its propagation graph. Parse errors
+// do not abort the analysis: the graph of the recovered AST is returned
+// together with the error.
+func AnalyzeSource(file, src string) (*propgraph.Graph, error) {
+	mod, err := pyparse.Parse(file, src)
+	return AnalyzeModule(mod, Options{}), err
+}
+
+// AnalyzeModule builds the propagation graph of a parsed module.
+func AnalyzeModule(mod *pyast.Module, opts Options) *propgraph.Graph {
+	a := &analyzer{
+		g:       propgraph.New(),
+		file:    mod.File,
+		opts:    opts.withDefaults(),
+		imports: make(map[string][]string),
+	}
+	root := a.newFuncEnv(propgraph.RepContext{}, nil, nil)
+	a.analyzeBody(root, mod.Body)
+	// Analyze any registered functions that were never called.
+	for _, fd := range a.order {
+		a.ensureAnalyzed(fd)
+	}
+	return a.g
+}
+
+type analyzer struct {
+	g       *propgraph.Graph
+	file    string
+	opts    Options
+	imports map[string][]string // local alias -> qualified path segments
+	order   []*funcDef          // all registered functions, in source order
+}
+
+// funcDef is a locally defined function (module-level, nested, or method)
+// together with its analysis summary.
+type funcDef struct {
+	def         *pyast.FunctionDef
+	ctx         propgraph.RepContext
+	paramEvents map[string]int // param name -> event ID (self/cls excluded)
+	paramOrder  []string
+	returns     []*object
+	state       int // 0 = pending, 1 = analyzing, 2 = done
+	outer       *funcEnv
+	class       *classDef // receiver class for methods, or nil
+}
+
+// classDef records a locally defined class and its methods. The shared
+// receiver object lets `self.field` stores in one method flow to reads in
+// another (a context-insensitive over-approximation of instance state).
+type classDef struct {
+	name    string
+	bases   []string // qualified
+	methods map[string]*funcDef
+	self    *object
+}
+
+// receiver returns the class's shared self object, creating it on demand.
+func (cd *classDef) receiver() *object {
+	if cd.self == nil {
+		cd.self = newObject(-1)
+		cd.self.class = cd
+	}
+	return cd.self
+}
+
+// funcEnv is the per-scope analysis state.
+type funcEnv struct {
+	env        *env
+	ctx        propgraph.RepContext
+	params     map[string]bool
+	reassigned map[string]bool
+	locals     map[string]*funcDef  // nested defs visible in this scope
+	classes    map[string]*classDef // visible local classes
+	cur        *funcDef             // function being analyzed (returns sink)
+	curClass   *classDef
+	outer      *funcEnv
+}
+
+func (a *analyzer) newFuncEnv(ctx propgraph.RepContext, cur *funcDef, outer *funcEnv) *funcEnv {
+	return &funcEnv{
+		env: newEnv(), ctx: ctx,
+		params:     make(map[string]bool),
+		reassigned: make(map[string]bool),
+		locals:     make(map[string]*funcDef),
+		classes:    make(map[string]*classDef),
+		cur:        cur,
+		outer:      outer,
+	}
+}
+
+// lookupFunc resolves a locally defined function by name through the scope
+// chain.
+func (fe *funcEnv) lookupFunc(name string) *funcDef {
+	for e := fe; e != nil; e = e.outer {
+		if fd, ok := e.locals[name]; ok {
+			return fd
+		}
+		if e.reassigned[name] || e.params[name] {
+			return nil // shadowed by a binding we cannot resolve
+		}
+	}
+	return nil
+}
+
+func (fe *funcEnv) lookupClass(name string) *classDef {
+	for e := fe; e != nil; e = e.outer {
+		if cd, ok := e.classes[name]; ok {
+			return cd
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic paths
+
+// sympath is a symbolic description of how a value was reached; it drives
+// representation building. Either param is set (value rooted at a formal
+// parameter of the enclosing function) or segs[0] is the (possibly
+// import-qualified) root.
+type sympath struct {
+	param string
+	ctx   propgraph.RepContext
+	segs  []string
+	pure  bool // import-rooted chain of plain names (a module path)
+}
+
+func (p *sympath) reps() []string {
+	if p == nil {
+		return nil
+	}
+	if p.param != "" {
+		return p.ctx.ParamRootedReps(p.param, p.segs)
+	}
+	return propgraph.SuffixReps(p.segs)
+}
+
+// extend returns a copy of p with one more segment, or nil when the path
+// exceeds the cap or p is nil.
+func (a *analyzer) extend(p *sympath, seg string) *sympath {
+	if p == nil {
+		return nil
+	}
+	if len(p.segs)+1 > a.opts.MaxPathSegments {
+		return nil
+	}
+	np := &sympath{param: p.param, ctx: p.ctx, segs: make([]string, 0, len(p.segs)+1), pure: false}
+	np.segs = append(np.segs, p.segs...)
+	np.segs = append(np.segs, seg)
+	return np
+}
+
+// extendLast rewrites the final segment (used for `seg` -> `seg()` and
+// subscript suffixes). p must be non-nil with at least one segment, or a
+// param-only root.
+func (a *analyzer) extendLast(p *sympath, rewrite func(string) string) *sympath {
+	if p == nil {
+		return nil
+	}
+	np := &sympath{param: p.param, ctx: p.ctx, segs: append([]string(nil), p.segs...), pure: false}
+	if len(np.segs) == 0 {
+		// A bare parameter: the rewrite applies to the parameter position,
+		// which representations cannot express; drop the path.
+		return nil
+	}
+	np.segs[len(np.segs)-1] = rewrite(np.segs[len(np.segs)-1])
+	return np
+}
+
+// rootPath resolves the symbolic root for a bare name: enclosing-function
+// parameter, the symbolic path of the variable's defining expression,
+// import alias, or plain variable name.
+func (a *analyzer) rootPath(fe *funcEnv, name string) *sympath {
+	if fe.params[name] && !fe.reassigned[name] {
+		return &sympath{param: name, ctx: fe.ctx}
+	}
+	for e := fe; e != nil; e = e.outer {
+		if p, ok := e.env.paths[name]; ok {
+			return p
+		}
+	}
+	if segs, ok := a.imports[name]; ok && !fe.isBound(name) {
+		return &sympath{segs: append([]string(nil), segs...), pure: true}
+	}
+	return &sympath{segs: []string{name}}
+}
+
+func (fe *funcEnv) isBound(name string) bool {
+	for e := fe; e != nil; e = e.outer {
+		if e.reassigned[name] || e.params[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifyExpr renders an expression as a dotted name with import aliases
+// expanded; used for base-class names. Returns "" for non-dotted shapes.
+func (a *analyzer) qualifyExpr(e pyast.Expr) string {
+	switch x := e.(type) {
+	case *pyast.Name:
+		if segs, ok := a.imports[x.Ident]; ok {
+			return strings.Join(segs, ".")
+		}
+		return x.Ident
+	case *pyast.Attribute:
+		base := a.qualifyExpr(x.Value)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Attr
+	}
+	return ""
+}

@@ -1,0 +1,33 @@
+package dataflow
+
+import (
+	"testing"
+
+	"seldon/internal/corpus"
+	"seldon/internal/pyparse"
+
+	"seldon/internal/pyast"
+)
+
+// BenchmarkAnalyzeModule measures propagation-graph construction over a
+// realistic generated view module.
+func BenchmarkAnalyzeModule(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Files: 8, Seed: 1})
+	mods := make([]*pyast.Module, 0, len(c.Files))
+	total := 0
+	for _, f := range c.Files {
+		mod, err := pyparse.Parse(f.Name, f.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods = append(mods, mod)
+		total += len(f.Source)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mod := range mods {
+			AnalyzeModule(mod, Options{})
+		}
+	}
+}

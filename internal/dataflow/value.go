@@ -1,0 +1,179 @@
+// Package dataflow builds propagation graphs from Python ASTs (paper §5).
+//
+// The analyzer is a flow-sensitive abstract interpreter. Abstract values
+// are sets of objects; each object remembers the event that created it and
+// a field map (field-sensitive, Andersen-style: assignments join points-to
+// sets, §5.2). Loops are analyzed as a single iteration, calls to unknown
+// functions are allocation sites, and functions defined in the same file
+// are linked through parameter/return summaries (the paper's inlining).
+package dataflow
+
+import "sort"
+
+// elemKey is the pseudo-field holding container elements (lists, dicts,
+// tuples, sets), giving the paper's "information flows from any entry to
+// the whole list" behaviour plus read-back through iteration/indexing.
+const elemKey = "*elem*"
+
+// object is an abstract runtime value: an allocation site with fields.
+// Instances of locally defined classes also remember their class, so
+// method calls on them can be linked to the statically known bodies.
+type object struct {
+	event  int // ID of the event that produced it, or -1
+	fields map[string][]*object
+	class  *classDef // non-nil for instances of local classes
+}
+
+func newObject(event int) *object { return &object{event: event} }
+
+func (o *object) field(name string) []*object { return o.fields[name] }
+
+func (o *object) addField(name string, vals []*object) {
+	if len(vals) == 0 {
+		return
+	}
+	if o.fields == nil {
+		o.fields = make(map[string][]*object)
+	}
+	o.fields[name] = unionObjects(o.fields[name], vals)
+}
+
+// unionObjects merges two object sets without duplicates, preserving order.
+func unionObjects(a, b []*object) []*object {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[*object]bool, len(a))
+	for _, o := range a {
+		seen[o] = true
+	}
+	out := a
+	for _, o := range b {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// collectEvents gathers the events carried by objs: their own creating
+// events plus events reachable through fields, to a bounded depth. This is
+// what flows into an event when the objects are used as arguments.
+func collectEvents(objs []*object, depth int) []int {
+	seenObj := make(map[*object]bool)
+	seenEv := make(map[int]bool)
+	var out []int
+	var walk func(os []*object, d int)
+	walk = func(os []*object, d int) {
+		for _, o := range os {
+			if seenObj[o] {
+				continue
+			}
+			seenObj[o] = true
+			if o.event >= 0 && !seenEv[o.event] {
+				seenEv[o.event] = true
+				out = append(out, o.event)
+			}
+			if d > 0 {
+				for _, name := range sortedFieldNames(o) {
+					walk(o.fields[name], d-1)
+				}
+			}
+		}
+	}
+	walk(objs, depth)
+	return out
+}
+
+func sortedFieldNames(o *object) []string {
+	if len(o.fields) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(o.fields))
+	for n := range o.fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// env maps local variable names to abstract values, and optionally to the
+// symbolic path of their defining expression (so `cur = conn.cursor()`
+// followed by `cur.execute(q)` yields the chained representation
+// MySQLdb.connect().cursor().execute()). Environments are cloned at
+// branches and merged (pointwise union; conflicting paths are dropped) at
+// join points.
+type env struct {
+	vars  map[string][]*object
+	paths map[string]*sympath
+}
+
+func newEnv() *env {
+	return &env{vars: make(map[string][]*object), paths: make(map[string]*sympath)}
+}
+
+func (e *env) get(name string) []*object { return e.vars[name] }
+
+func (e *env) set(name string, objs []*object) {
+	e.vars[name] = objs
+	delete(e.paths, name)
+}
+
+func (e *env) setWithPath(name string, objs []*object, p *sympath) {
+	e.vars[name] = objs
+	if p != nil {
+		e.paths[name] = p
+	} else {
+		delete(e.paths, name)
+	}
+}
+
+func (e *env) add(name string, objs []*object) {
+	e.vars[name] = unionObjects(e.vars[name], objs)
+	delete(e.paths, name)
+}
+
+func (e *env) delete(name string) {
+	delete(e.vars, name)
+	delete(e.paths, name)
+}
+
+func (e *env) clone() *env {
+	c := newEnv()
+	for k, v := range e.vars {
+		c.vars[k] = append([]*object(nil), v...)
+	}
+	for k, p := range e.paths {
+		c.paths[k] = p
+	}
+	return c
+}
+
+// merge joins another environment into e (pointwise union). A variable
+// keeps its symbolic path only when both branches agree on it.
+func (e *env) merge(other *env) {
+	for k, v := range other.vars {
+		e.vars[k] = unionObjects(e.vars[k], v)
+	}
+	for k := range e.paths {
+		if other.paths[k] != e.paths[k] {
+			delete(e.paths, k)
+		}
+	}
+}
+
+// allObjects returns every object bound in the environment, in
+// deterministic (sorted variable name) order; used to model locals().
+func (e *env) allObjects() []*object {
+	names := make([]string, 0, len(e.vars))
+	for n := range e.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []*object
+	for _, n := range names {
+		out = unionObjects(out, e.vars[n])
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"testing"
+
+	"seldon/internal/corpus"
+	"seldon/internal/propgraph"
+	"seldon/internal/spec"
+	"seldon/internal/taint"
+)
+
+func TestSamplePrecision(t *testing.T) {
+	truth := corpus.NewTruth()
+	entries := []spec.Entry{
+		{Rep: "htmlguard.scrub()", Role: propgraph.Sanitizer, Score: 0.9},    // correct
+		{Rep: "textutil.titlecase()", Role: propgraph.Sanitizer, Score: 0.4}, // wrong
+		{Rep: "webapi.get_param()", Role: propgraph.Source, Score: 0.8},      // correct
+		{Rep: "webdb.runquery()", Role: propgraph.Sink, Score: 0.7},          // correct
+		{Rep: "metrics.observe()", Role: propgraph.Sink, Score: 0.3},         // wrong
+	}
+	rep := SamplePrecision(entries, truth, 50, 1)
+	san := rep.PerRole[propgraph.Sanitizer]
+	if san.Sampled != 2 || san.Correct != 1 {
+		t.Errorf("sanitizer precision = %+v", san)
+	}
+	overall := rep.Overall()
+	if overall.Sampled != 5 || overall.Correct != 3 {
+		t.Errorf("overall = %+v", overall)
+	}
+	if got := overall.Precision(); got != 0.6 {
+		t.Errorf("precision = %v, want 0.6", got)
+	}
+}
+
+func TestSamplePrecisionRespectsSampleSize(t *testing.T) {
+	truth := corpus.NewTruth()
+	var entries []spec.Entry
+	for i := 0; i < 100; i++ {
+		entries = append(entries, spec.Entry{Rep: "webapi.get_param()", Role: propgraph.Source, Score: 0.5})
+	}
+	rep := SamplePrecision(entries, truth, 50, 1)
+	if got := rep.PerRole[propgraph.Source]; got.Sampled != 50 || got.Predicted != 100 {
+		t.Errorf("source = %+v", got)
+	}
+}
+
+func TestScoreCurveSortedAndCumulative(t *testing.T) {
+	truth := corpus.NewTruth()
+	entries := []spec.Entry{
+		{Rep: "webapi.get_param()", Role: propgraph.Source, Score: 0.9},
+		{Rep: "metrics.observe()", Role: propgraph.Source, Score: 0.5},
+		{Rep: "bottle.request.query.get()", Role: propgraph.Source, Score: 0.7},
+	}
+	curve := ScoreCurve(entries, truth, propgraph.Source, 10, 1)
+	if len(curve) != 3 {
+		t.Fatalf("curve = %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Score > curve[i-1].Score {
+			t.Error("curve not sorted by descending score")
+		}
+	}
+	// First two are correct sources, third is noise: cumulative precision
+	// must be 1, 1, 2/3.
+	if curve[0].CumPrecision != 1 || curve[2].CumPrecision < 0.66 || curve[2].CumPrecision > 0.67 {
+		t.Errorf("cumulative = %v %v %v", curve[0].CumPrecision, curve[1].CumPrecision, curve[2].CumPrecision)
+	}
+}
+
+func classifyOne(t *testing.T, r taint.Report, flows []corpus.Flow) Category {
+	t.Helper()
+	return ClassifyReport(&r, flows, corpus.NewTruth())
+}
+
+func TestClassifyReportCategories(t *testing.T) {
+	flows := []corpus.Flow{
+		{File: "a.py", SourceRep: "flask.request.args.get()", SinkRep: "os.system()",
+			Exploitable: true},
+		{File: "b.py", SourceRep: "flask.request.args.get()", SinkRep: "os.system()",
+			Sanitized: true, SanitizerRep: "shellguard.quote_arg()"},
+		{File: "c.py", SourceRep: "flask.request.args.get()", SinkRep: "os.system()"},
+		{File: "d.py", SourceRep: "flask.request.args.get()", SinkRep: "webdb.runquery()",
+			WrongParam: true},
+	}
+	base := taint.Report{SourceRep: "flask.request.args.get()", SinkRep: "os.system()"}
+
+	r := base
+	r.File = "a.py"
+	if got := classifyOne(t, r, flows); got != TrueVulnerability {
+		t.Errorf("a.py = %q", got)
+	}
+	r.File = "b.py"
+	if got := classifyOne(t, r, flows); got != MissingSanitizer {
+		t.Errorf("b.py = %q", got)
+	}
+	r.File = "c.py"
+	if got := classifyOne(t, r, flows); got != VulnFlowNoBug {
+		t.Errorf("c.py = %q", got)
+	}
+	wp := taint.Report{File: "d.py", SourceRep: "flask.request.args.get()", SinkRep: "webdb.runquery()"}
+	if got := classifyOne(t, wp, flows); got != WrongParameter {
+		t.Errorf("d.py = %q", got)
+	}
+
+	// Unplanned reports judged by the oracle.
+	bad := taint.Report{File: "x.py", SourceRep: "clock.now_iso()", SinkRep: "os.system()"}
+	if got := classifyOne(t, bad, flows); got != IncorrectSource {
+		t.Errorf("incorrect source = %q", got)
+	}
+	bad2 := taint.Report{File: "x.py", SourceRep: "flask.request.args.get()", SinkRep: "clock.now_iso()"}
+	if got := classifyOne(t, bad2, flows); got != IncorrectSink {
+		t.Errorf("incorrect sink = %q", got)
+	}
+	bad3 := taint.Report{File: "x.py", SourceRep: "clock.now_iso()", SinkRep: "metrics.observe()"}
+	if got := classifyOne(t, bad3, flows); got != IncorrectBoth {
+		t.Errorf("incorrect both = %q", got)
+	}
+}
+
+func TestClassifySampleAndEstimate(t *testing.T) {
+	flows := []corpus.Flow{
+		{File: "a.py", SourceRep: "flask.request.args.get()", SinkRep: "os.system()", Exploitable: true},
+	}
+	var reports []taint.Report
+	for i := 0; i < 10; i++ {
+		reports = append(reports, taint.Report{
+			File: "a.py", SourceRep: "flask.request.args.get()", SinkRep: "os.system()",
+		})
+	}
+	counts := ClassifySample(reports, flows, corpus.NewTruth(), 5, 1)
+	if counts[TrueVulnerability] != 5 {
+		t.Errorf("counts = %v", counts)
+	}
+	if est := EstimateTrueVulnerabilities(len(reports), counts); est != 10 {
+		t.Errorf("estimate = %d, want 10", est)
+	}
+	if est := EstimateTrueVulnerabilities(0, map[Category]int{}); est != 0 {
+		t.Errorf("empty estimate = %d", est)
+	}
+}
+
+func TestCategoriesComplete(t *testing.T) {
+	if len(Categories()) != 7 {
+		t.Errorf("categories = %d, want 7 (Table 6 rows)", len(Categories()))
+	}
+}
+
+func TestMeasureRecall(t *testing.T) {
+	learnable := map[string]propgraph.Role{
+		"webapi.get_param()": propgraph.Source,
+		"htmlguard.scrub()":  propgraph.Sanitizer,
+		"webdb.runquery()":   propgraph.Sink,
+	}
+	entries := []spec.Entry{
+		{Rep: "webapi.get_param()", Role: propgraph.Source},
+		{Rep: "htmlguard.scrub()", Role: propgraph.Sink}, // wrong role: no credit
+	}
+	r := MeasureRecall(entries, learnable)
+	if r.Found != 1 || r.Total != 3 {
+		t.Errorf("recall = %+v", r)
+	}
+	if len(r.Missing) != 2 {
+		t.Errorf("missing = %v", r.Missing)
+	}
+	if r.Fraction() < 0.33 || r.Fraction() > 0.34 {
+		t.Errorf("fraction = %v", r.Fraction())
+	}
+	if empty := MeasureRecall(nil, nil); empty.Fraction() != 1 {
+		t.Error("empty catalog must have recall 1")
+	}
+}

@@ -1,0 +1,36 @@
+package factorgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// grid builds a deterministic pairwise graph with a few high-degree
+// variables (the shape collapsed propagation graphs produce).
+func grid(nVars, nFactors int) *Graph {
+	g := &Graph{NumVars: nVars}
+	for i := 0; i < nFactors; i++ {
+		a := (i * 7) % nVars
+		b := i % 5 // a handful of hub variables with huge degree
+		if a == b {
+			a = (a + 1) % nVars
+		}
+		_ = g.AddFactor(Factor{Vars: []int{a, b},
+			Table: []float64{0.9, 0.4, 0.4, 0.9}})
+	}
+	return g
+}
+
+func BenchmarkBeliefPropagation(b *testing.B) {
+	g := grid(2000, 20000)
+	for i := 0; i < b.N; i++ {
+		g.BeliefPropagation(BPOptions{MaxIterations: 25})
+	}
+}
+
+func BenchmarkGibbs(b *testing.B) {
+	g := grid(500, 5000)
+	for i := 0; i < b.N; i++ {
+		g.Gibbs(GibbsOptions{Burn: 20, Samples: 80}, rand.New(rand.NewSource(1)))
+	}
+}

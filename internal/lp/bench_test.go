@@ -1,0 +1,38 @@
+package lp
+
+import "testing"
+
+// randomishProblem builds a deterministic mid-size constraint system with
+// the structure the Seldon pipeline produces (two LHS terms, a handful of
+// RHS terms, some pinned variables).
+func randomishProblem(nVars, nCons int) *Problem {
+	p := &Problem{NumVars: nVars, C: 0.75, Lambda: 0.1, Known: map[int]float64{}}
+	for i := 0; i < nVars/10; i++ {
+		p.Known[i*7%nVars] = float64(i % 2)
+	}
+	for i := 0; i < nCons; i++ {
+		a := (i * 13) % nVars
+		bb := (i*29 + 7) % nVars
+		c := (i*31 + 3) % nVars
+		d := (i*37 + 11) % nVars
+		p.Constraints = append(p.Constraints, Constraint{
+			LHS: []Term{{a, 1}, {bb, 1}},
+			RHS: []Term{{c, 0.5}, {d, 0.5}},
+		})
+	}
+	return p
+}
+
+func BenchmarkMinimizeSmall(b *testing.B) {
+	p := randomishProblem(200, 1000)
+	for i := 0; i < b.N; i++ {
+		Minimize(p, Options{Iterations: 100})
+	}
+}
+
+func BenchmarkMinimizeLarge(b *testing.B) {
+	p := randomishProblem(5000, 50000)
+	for i := 0; i < b.N; i++ {
+		Minimize(p, Options{Iterations: 100})
+	}
+}

@@ -1,0 +1,209 @@
+// Package lp solves the relaxed linear constraint systems produced by
+// taint-specification inference (paper §4.4).
+//
+// A problem is a set of soft constraints  L_i(x) ≤ R_i(x) + C  over
+// variables box-constrained to [0,1], some of which are pinned to known
+// values (the hand-labeled seed). The objective is the total hinge
+// violation plus an L1 regularizer:
+//
+//	min Σ_i max(L_i(x) − R_i(x) − C, 0) + λ Σ_v x_v
+//
+// It is minimized by full-batch projected (sub)gradient descent with the
+// Adam update rule (Kingma & Ba, 2014), reimplemented here from scratch;
+// variables are projected back to [0,1] and known variables re-pinned
+// after every step, exactly as the paper describes doing on top of
+// TensorFlow's Adam optimizer.
+package lp
+
+import "math"
+
+// Term is one linear summand: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a soft constraint  Σ LHS ≤ Σ RHS + C.
+type Constraint struct {
+	LHS []Term
+	RHS []Term
+}
+
+// Violation returns max(L − R − C, 0) for the given assignment.
+func (c *Constraint) Violation(x []float64, C float64) float64 {
+	v := -C
+	for _, t := range c.LHS {
+		v += t.Coef * x[t.Var]
+	}
+	for _, t := range c.RHS {
+		v -= t.Coef * x[t.Var]
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Problem is a relaxed constraint system.
+type Problem struct {
+	NumVars     int
+	Constraints []Constraint
+	C           float64 // implication-strength constant (paper: 0.75)
+	Lambda      float64 // L1 regularization weight (paper: 0.1)
+	Known       map[int]float64
+}
+
+// Objective evaluates the relaxed objective at x.
+func (p *Problem) Objective(x []float64) float64 {
+	obj := 0.0
+	for i := range p.Constraints {
+		obj += p.Constraints[i].Violation(x, p.C)
+	}
+	for v := 0; v < p.NumVars; v++ {
+		if _, pinned := p.Known[v]; !pinned {
+			obj += p.Lambda * x[v]
+		}
+	}
+	return obj
+}
+
+// TotalViolation returns the hinge part of the objective only.
+func (p *Problem) TotalViolation(x []float64) float64 {
+	total := 0.0
+	for i := range p.Constraints {
+		total += p.Constraints[i].Violation(x, p.C)
+	}
+	return total
+}
+
+// Options configures the solver.
+type Options struct {
+	Iterations int     // maximum epochs; default 400
+	LearnRate  float64 // Adam step size; default 0.05
+	Beta1      float64 // default 0.9
+	Beta2      float64 // default 0.999
+	Eps        float64 // default 1e-8
+	Tolerance  float64 // stop when objective improves less than this; default 1e-6
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 400
+	}
+	if o.LearnRate == 0 {
+		o.LearnRate = 0.05
+	}
+	if o.Beta1 == 0 {
+		o.Beta1 = 0.9
+	}
+	if o.Beta2 == 0 {
+		o.Beta2 = 0.999
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-8
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	return o
+}
+
+// Result holds the solver output.
+type Result struct {
+	X          []float64
+	Objective  float64
+	Violation  float64
+	Iterations int
+}
+
+// Minimize runs projected Adam on the problem and returns the best
+// assignment found. The start point is all zeros with known variables
+// pinned (so an empty seed yields the trivial all-zero optimum, matching
+// the paper's Q6 observation).
+func Minimize(p *Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	n := p.NumVars
+	x := make([]float64, n)
+	pin := func(xs []float64) {
+		for v, val := range p.Known {
+			if v >= 0 && v < n {
+				xs[v] = val
+			}
+		}
+	}
+	pin(x)
+
+	grad := make([]float64, n)
+	m := make([]float64, n)
+	vv := make([]float64, n)
+	free := make([]bool, n)
+	for i := range free {
+		_, pinned := p.Known[i]
+		free[i] = !pinned
+	}
+
+	best := append([]float64(nil), x...)
+	bestObj := p.Objective(x)
+	prevObj := math.Inf(1)
+	iters := 0
+
+	for t := 1; t <= opts.Iterations; t++ {
+		iters = t
+		// Subgradient of the hinge terms.
+		for i := range grad {
+			if free[i] {
+				grad[i] = p.Lambda
+			} else {
+				grad[i] = 0
+			}
+		}
+		for i := range p.Constraints {
+			c := &p.Constraints[i]
+			if c.Violation(x, p.C) <= 0 {
+				continue
+			}
+			for _, term := range c.LHS {
+				grad[term.Var] += term.Coef
+			}
+			for _, term := range c.RHS {
+				grad[term.Var] -= term.Coef
+			}
+		}
+		// Adam update with bias correction, then projection.
+		b1t := 1 - math.Pow(opts.Beta1, float64(t))
+		b2t := 1 - math.Pow(opts.Beta2, float64(t))
+		for i := 0; i < n; i++ {
+			if !free[i] {
+				continue
+			}
+			g := grad[i]
+			m[i] = opts.Beta1*m[i] + (1-opts.Beta1)*g
+			vv[i] = opts.Beta2*vv[i] + (1-opts.Beta2)*g*g
+			mHat := m[i] / b1t
+			vHat := vv[i] / b2t
+			x[i] -= opts.LearnRate * mHat / (math.Sqrt(vHat) + opts.Eps)
+			if x[i] < 0 {
+				x[i] = 0
+			} else if x[i] > 1 {
+				x[i] = 1
+			}
+		}
+		pin(x)
+
+		obj := p.Objective(x)
+		if obj < bestObj {
+			bestObj = obj
+			copy(best, x)
+		}
+		if math.Abs(prevObj-obj) < opts.Tolerance {
+			break
+		}
+		prevObj = obj
+	}
+	return &Result{
+		X:          best,
+		Objective:  bestObj,
+		Violation:  p.TotalViolation(best),
+		Iterations: iters,
+	}
+}

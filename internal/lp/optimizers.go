@@ -1,0 +1,112 @@
+package lp
+
+import "math"
+
+// Method selects the first-order update rule used by MinimizeWith. The
+// paper uses Adam (§4.4); plain projected subgradient descent and AdaGrad
+// are provided for the optimizer ablation.
+type Method int
+
+// Optimization methods.
+const (
+	Adam Method = iota
+	SGD
+	AdaGrad
+)
+
+func (m Method) String() string {
+	switch m {
+	case Adam:
+		return "adam"
+	case SGD:
+		return "sgd"
+	case AdaGrad:
+		return "adagrad"
+	}
+	return "unknown"
+}
+
+// MinimizeWith runs projected first-order descent with the chosen update
+// rule. MinimizeWith(p, opts, Adam) is equivalent to Minimize(p, opts).
+func MinimizeWith(p *Problem, opts Options, method Method) *Result {
+	if method == Adam {
+		return Minimize(p, opts)
+	}
+	opts = opts.withDefaults()
+	n := p.NumVars
+	x := make([]float64, n)
+	pin := func(xs []float64) {
+		for v, val := range p.Known {
+			if v >= 0 && v < n {
+				xs[v] = val
+			}
+		}
+	}
+	pin(x)
+
+	grad := make([]float64, n)
+	accum := make([]float64, n) // AdaGrad accumulator
+	free := make([]bool, n)
+	for i := range free {
+		_, pinned := p.Known[i]
+		free[i] = !pinned
+	}
+
+	best := append([]float64(nil), x...)
+	bestObj := p.Objective(x)
+	prevObj := math.Inf(1)
+	iters := 0
+
+	for t := 1; t <= opts.Iterations; t++ {
+		iters = t
+		for i := range grad {
+			if free[i] {
+				grad[i] = p.Lambda
+			} else {
+				grad[i] = 0
+			}
+		}
+		for i := range p.Constraints {
+			c := &p.Constraints[i]
+			if c.Violation(x, p.C) <= 0 {
+				continue
+			}
+			for _, term := range c.LHS {
+				grad[term.Var] += term.Coef
+			}
+			for _, term := range c.RHS {
+				grad[term.Var] -= term.Coef
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !free[i] {
+				continue
+			}
+			g := grad[i]
+			switch method {
+			case SGD:
+				// 1/sqrt(t) step decay for convergence of subgradient descent.
+				x[i] -= opts.LearnRate / math.Sqrt(float64(t)) * g
+			case AdaGrad:
+				accum[i] += g * g
+				x[i] -= opts.LearnRate / (math.Sqrt(accum[i]) + opts.Eps) * g
+			}
+			if x[i] < 0 {
+				x[i] = 0
+			} else if x[i] > 1 {
+				x[i] = 1
+			}
+		}
+		pin(x)
+		obj := p.Objective(x)
+		if obj < bestObj {
+			bestObj = obj
+			copy(best, x)
+		}
+		if math.Abs(prevObj-obj) < opts.Tolerance {
+			break
+		}
+		prevObj = obj
+	}
+	return &Result{X: best, Objective: bestObj, Violation: p.TotalViolation(best), Iterations: iters}
+}

@@ -1,0 +1,64 @@
+package lp
+
+import "testing"
+
+// benchmarkProblem mirrors the shape of real Seldon systems: seeds pinned
+// high, hinge constraints pulling free variables up and down.
+func optimizerProblem() *Problem {
+	p := &Problem{NumVars: 30, C: 0.75, Lambda: 0.05,
+		Known: map[int]float64{0: 1, 1: 1, 2: 0}}
+	for i := 3; i < 29; i++ {
+		p.Constraints = append(p.Constraints,
+			Constraint{LHS: []Term{{0, 1}, {1, 1}}, RHS: []Term{{i, 1}}},
+			Constraint{LHS: []Term{{i, 1}, {i + 1, 1}}, RHS: []Term{{2, 1}}},
+		)
+	}
+	return p
+}
+
+func TestAllMethodsReachSimilarObjectives(t *testing.T) {
+	p := optimizerProblem()
+	adam := MinimizeWith(p, Options{Iterations: 3000}, Adam)
+	sgd := MinimizeWith(p, Options{Iterations: 3000, LearnRate: 0.2}, SGD)
+	ada := MinimizeWith(p, Options{Iterations: 3000, LearnRate: 0.3}, AdaGrad)
+	for name, r := range map[string]*Result{"adam": adam, "sgd": sgd, "adagrad": ada} {
+		if r.Objective > adam.Objective*1.5+0.5 {
+			t.Errorf("%s objective = %v, far from adam's %v", name, r.Objective, adam.Objective)
+		}
+		for i, v := range r.X {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: x[%d] = %v outside box", name, i, v)
+			}
+		}
+		if r.X[0] != 1 || r.X[2] != 0 {
+			t.Errorf("%s: known variables moved", name)
+		}
+	}
+}
+
+func TestMinimizeWithAdamMatchesMinimize(t *testing.T) {
+	p := optimizerProblem()
+	a := Minimize(p, Options{Iterations: 500})
+	b := MinimizeWith(p, Options{Iterations: 500}, Adam)
+	if a.Objective != b.Objective {
+		t.Errorf("objectives differ: %v vs %v", a.Objective, b.Objective)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Adam.String() != "adam" || SGD.String() != "sgd" || AdaGrad.String() != "adagrad" {
+		t.Error("method names wrong")
+	}
+}
+
+func BenchmarkOptimizers(b *testing.B) {
+	p := randomishProblem(2000, 20000)
+	for _, m := range []Method{Adam, SGD, AdaGrad} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := MinimizeWith(p, Options{Iterations: 100}, m)
+				b.ReportMetric(r.Objective, "objective")
+			}
+		})
+	}
+}

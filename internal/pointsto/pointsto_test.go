@@ -1,0 +1,314 @@
+package pointsto
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func objs(os ...Object) []Object {
+	if len(os) == 0 {
+		return nil
+	}
+	return os
+}
+
+func TestAllocAndCopy(t *testing.T) {
+	s := NewSolver()
+	o1 := s.NewObject("o1")
+	o2 := s.NewObject("o2")
+	p := s.NewVar("p")
+	q := s.NewVar("q")
+	r := s.NewVar("r")
+	s.AddAlloc(p, o1)
+	s.AddAlloc(q, o2)
+	s.AddCopy(r, p) // r = p
+	s.AddCopy(r, q) // r = q (joins)
+	if got := s.PointsTo(r); !reflect.DeepEqual(got, objs(o1, o2)) {
+		t.Errorf("pts(r) = %v", got)
+	}
+	if got := s.PointsTo(p); !reflect.DeepEqual(got, objs(o1)) {
+		t.Errorf("pts(p) = %v", got)
+	}
+	if !s.Alias(p, r) || s.Alias(p, q) {
+		t.Error("alias relation wrong")
+	}
+}
+
+func TestCopyChainTransitivity(t *testing.T) {
+	s := NewSolver()
+	o := s.NewObject("o")
+	vars := make([]Var, 10)
+	for i := range vars {
+		vars[i] = s.NewVar("v")
+		if i > 0 {
+			s.AddCopy(vars[i], vars[i-1])
+		}
+	}
+	s.AddAlloc(vars[0], o)
+	if got := s.PointsTo(vars[9]); !reflect.DeepEqual(got, objs(o)) {
+		t.Errorf("pts(end of chain) = %v", got)
+	}
+}
+
+func TestFieldStoreLoadThroughAlias(t *testing.T) {
+	// a = alloc(); b = a; a.f = x (x -> oX); y = b.f  =>  y -> oX
+	s := NewSolver()
+	oA := s.NewObject("oA")
+	oX := s.NewObject("oX")
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	x := s.NewVar("x")
+	y := s.NewVar("y")
+	s.AddAlloc(a, oA)
+	s.AddCopy(b, a)
+	s.AddAlloc(x, oX)
+	s.AddStore(a, "f", x)
+	s.AddLoad(y, b, "f")
+	if got := s.PointsTo(y); !reflect.DeepEqual(got, objs(oX)) {
+		t.Errorf("pts(y) = %v, want [oX]", got)
+	}
+	if got := s.FieldPointsTo(oA, "f"); !reflect.DeepEqual(got, objs(oX)) {
+		t.Errorf("pts(oA.f) = %v", got)
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	// Distinct fields must not conflate.
+	s := NewSolver()
+	oA := s.NewObject("oA")
+	o1 := s.NewObject("o1")
+	o2 := s.NewObject("o2")
+	a := s.NewVar("a")
+	x1 := s.NewVar("x1")
+	x2 := s.NewVar("x2")
+	y1 := s.NewVar("y1")
+	y2 := s.NewVar("y2")
+	s.AddAlloc(a, oA)
+	s.AddAlloc(x1, o1)
+	s.AddAlloc(x2, o2)
+	s.AddStore(a, "f", x1)
+	s.AddStore(a, "g", x2)
+	s.AddLoad(y1, a, "f")
+	s.AddLoad(y2, a, "g")
+	if got := s.PointsTo(y1); !reflect.DeepEqual(got, objs(o1)) {
+		t.Errorf("pts(y1) = %v", got)
+	}
+	if got := s.PointsTo(y2); !reflect.DeepEqual(got, objs(o2)) {
+		t.Errorf("pts(y2) = %v", got)
+	}
+}
+
+func TestCyclicCopies(t *testing.T) {
+	s := NewSolver()
+	o := s.NewObject("o")
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	c := s.NewVar("c")
+	s.AddCopy(b, a)
+	s.AddCopy(c, b)
+	s.AddCopy(a, c) // cycle
+	s.AddAlloc(a, o)
+	for _, v := range []Var{a, b, c} {
+		if got := s.PointsTo(v); !reflect.DeepEqual(got, objs(o)) {
+			t.Errorf("pts(%s) = %v", s.VarName(v), got)
+		}
+	}
+}
+
+func TestLoadBeforeStoreOrderIndependent(t *testing.T) {
+	// Constraints are declarative: issuing the load before the store must
+	// give the same fixpoint.
+	build := func(loadFirst bool) []Object {
+		s := NewSolver()
+		oA := s.NewObject("oA")
+		oX := s.NewObject("oX")
+		a := s.NewVar("a")
+		x := s.NewVar("x")
+		y := s.NewVar("y")
+		s.AddAlloc(a, oA)
+		s.AddAlloc(x, oX)
+		if loadFirst {
+			s.AddLoad(y, a, "f")
+			s.AddStore(a, "f", x)
+		} else {
+			s.AddStore(a, "f", x)
+			s.AddLoad(y, a, "f")
+		}
+		return s.PointsTo(y)
+	}
+	if !reflect.DeepEqual(build(true), build(false)) {
+		t.Error("solve depends on constraint order")
+	}
+}
+
+func TestIncrementalResolve(t *testing.T) {
+	s := NewSolver()
+	o1 := s.NewObject("o1")
+	o2 := s.NewObject("o2")
+	p := s.NewVar("p")
+	q := s.NewVar("q")
+	s.AddAlloc(p, o1)
+	if got := s.PointsTo(p); !reflect.DeepEqual(got, objs(o1)) {
+		t.Fatalf("pts(p) = %v", got)
+	}
+	// Add more constraints after a solve; the solver must re-run.
+	s.AddAlloc(q, o2)
+	s.AddCopy(p, q)
+	if got := s.PointsTo(p); !reflect.DeepEqual(got, objs(o1, o2)) {
+		t.Errorf("pts(p) after update = %v", got)
+	}
+}
+
+func TestTwoLevelIndirection(t *testing.T) {
+	// outer.f = inner; inner.g = x; y = outer.f; z = y.g
+	s := NewSolver()
+	oOut := s.NewObject("oOut")
+	oIn := s.NewObject("oIn")
+	oX := s.NewObject("oX")
+	outer := s.NewVar("outer")
+	inner := s.NewVar("inner")
+	x := s.NewVar("x")
+	y := s.NewVar("y")
+	z := s.NewVar("z")
+	s.AddAlloc(outer, oOut)
+	s.AddAlloc(inner, oIn)
+	s.AddAlloc(x, oX)
+	s.AddStore(outer, "f", inner)
+	s.AddStore(inner, "g", x)
+	s.AddLoad(y, outer, "f")
+	s.AddLoad(z, y, "g")
+	if got := s.PointsTo(z); !reflect.DeepEqual(got, objs(oX)) {
+		t.Errorf("pts(z) = %v, want [oX]", got)
+	}
+}
+
+// naiveSolve recomputes the fixpoint by brute-force iteration over sets of
+// ints, as an executable specification.
+type naiveConstraint struct {
+	kind  int // 0 alloc, 1 copy, 2 load, 3 store
+	a, b  int
+	obj   int
+	field string
+}
+
+func naiveSolve(nVars int, cons []naiveConstraint) map[int]map[int]bool {
+	pts := make(map[int]map[int]bool)
+	fieldPts := make(map[string]map[int]bool) // "obj.field" -> set
+	get := func(m map[int]map[int]bool, k int) map[int]bool {
+		if m[k] == nil {
+			m[k] = map[int]bool{}
+		}
+		return m[k]
+	}
+	fkey := func(o int, f string) string { return f + "@" + string(rune(o)) }
+	for changed := true; changed; {
+		changed = false
+		union := func(dst map[int]bool, src map[int]bool) {
+			for o := range src {
+				if !dst[o] {
+					dst[o] = true
+					changed = true
+				}
+			}
+		}
+		for _, c := range cons {
+			switch c.kind {
+			case 0:
+				d := get(pts, c.a)
+				if !d[c.obj] {
+					d[c.obj] = true
+					changed = true
+				}
+			case 1:
+				union(get(pts, c.a), get(pts, c.b))
+			case 2: // load: a = b.field
+				for o := range get(pts, c.b) {
+					if fieldPts[fkey(o, c.field)] == nil {
+						fieldPts[fkey(o, c.field)] = map[int]bool{}
+					}
+					union(get(pts, c.a), fieldPts[fkey(o, c.field)])
+				}
+			case 3: // store: a.field = b
+				for o := range get(pts, c.a) {
+					if fieldPts[fkey(o, c.field)] == nil {
+						fieldPts[fkey(o, c.field)] = map[int]bool{}
+					}
+					union(fieldPts[fkey(o, c.field)], get(pts, c.b))
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Property: the worklist solver agrees with the naive fixpoint on random
+// constraint systems.
+func TestSolverMatchesNaiveFixpoint(t *testing.T) {
+	fields := []string{"f", "g"}
+	f := func(raw []uint8) bool {
+		const nVars, nObjs = 6, 4
+		s := NewSolver()
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar("v")
+		}
+		objects := make([]Object, nObjs)
+		for i := range objects {
+			objects[i] = s.NewObject("o")
+		}
+		var cons []naiveConstraint
+		for i := 0; i+3 < len(raw); i += 4 {
+			kind := int(raw[i]) % 4
+			a := int(raw[i+1]) % nVars
+			b := int(raw[i+2]) % nVars
+			obj := int(raw[i+2]) % nObjs
+			field := fields[int(raw[i+3])%len(fields)]
+			switch kind {
+			case 0:
+				s.AddAlloc(vars[a], objects[obj])
+			case 1:
+				s.AddCopy(vars[a], vars[b])
+			case 2:
+				s.AddLoad(vars[a], vars[b], field)
+			case 3:
+				s.AddStore(vars[a], field, vars[b])
+			}
+			cons = append(cons, naiveConstraint{kind: kind, a: a, b: b, obj: obj, field: field})
+		}
+		want := naiveSolve(nVars, cons)
+		for i, v := range vars {
+			got := s.PointsTo(v)
+			if len(got) != len(want[i]) {
+				return false
+			}
+			for _, o := range got {
+				if !want[i][int(o)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		var prev Var
+		o := s.NewObject("o")
+		for j := 0; j < 2000; j++ {
+			v := s.NewVar("v")
+			if j == 0 {
+				s.AddAlloc(v, o)
+			} else {
+				s.AddCopy(v, prev)
+			}
+			prev = v
+		}
+		s.Solve()
+	}
+}

@@ -1,0 +1,88 @@
+package propgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"seldon/internal/pytoken"
+)
+
+// The JSON encoding lets the extraction and learning phases run as
+// separate processes (the paper's pipeline parses tens of thousands of
+// repositories once and learns over the union many times).
+
+// jsonGraph is the wire format.
+type jsonGraph struct {
+	Version int         `json:"version"`
+	Events  []jsonEvent `json:"events"`
+	Edges   []jsonEdge  `json:"edges"`
+}
+
+type jsonEvent struct {
+	Kind  int      `json:"kind"`
+	File  string   `json:"file,omitempty"`
+	Line  int      `json:"line,omitempty"`
+	Col   int      `json:"col,omitempty"`
+	Reps  []string `json:"reps,omitempty"`
+	Roles uint8    `json:"roles"`
+}
+
+type jsonEdge struct {
+	Src  int   `json:"s"`
+	Dst  int   `json:"d"`
+	Args []int `json:"a,omitempty"`
+}
+
+const encodingVersion = 1
+
+// Encode writes the graph as JSON.
+func (g *Graph) Encode(w io.Writer) error {
+	jg := jsonGraph{Version: encodingVersion}
+	for _, e := range g.Events {
+		jg.Events = append(jg.Events, jsonEvent{
+			Kind: int(e.Kind), File: e.File,
+			Line: e.Pos.Line, Col: e.Pos.Col,
+			Reps: e.Reps, Roles: uint8(e.Roles),
+		})
+	}
+	for src := range g.Events {
+		for _, dst := range g.Succs(src) {
+			jg.Edges = append(jg.Edges, jsonEdge{
+				Src: src, Dst: dst, Args: g.EdgeArgs(src, dst),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jg)
+}
+
+// Decode reads a graph written by Encode.
+func Decode(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("propgraph: decode: %w", err)
+	}
+	if jg.Version != encodingVersion {
+		return nil, fmt.Errorf("propgraph: unsupported encoding version %d", jg.Version)
+	}
+	g := New()
+	for _, je := range jg.Events {
+		ev := g.AddEvent(EventKind(je.Kind), je.File,
+			pytoken.Pos{Line: je.Line, Col: je.Col}, je.Reps)
+		ev.Roles = RoleSet(je.Roles)
+	}
+	for _, je := range jg.Edges {
+		if je.Src < 0 || je.Src >= len(g.Events) || je.Dst < 0 || je.Dst >= len(g.Events) {
+			return nil, fmt.Errorf("propgraph: edge %d->%d out of range", je.Src, je.Dst)
+		}
+		if len(je.Args) == 0 {
+			g.AddEdge(je.Src, je.Dst)
+			continue
+		}
+		for _, a := range je.Args {
+			g.AddEdgeArg(je.Src, je.Dst, a)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,74 @@
+package propgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"seldon/internal/pytoken"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := New()
+	a := g.AddEvent(KindCall, "a.py", pytoken.Pos{Line: 3, Col: 4}, []string{"f()", "m.f()"})
+	b := g.AddEvent(KindRead, "a.py", pytoken.Pos{Line: 5}, []string{"x.y"})
+	c := g.AddEvent(KindParam, "b.py", pytoken.Pos{Line: 1}, []string{"g(param p)"})
+	g.AddEdge(a.ID, b.ID)
+	g.AddEdgeArg(b.ID, c.ID, 0)
+	g.AddEdgeArg(b.ID, c.ID, ArgReceiver)
+
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 3 {
+		t.Fatalf("events = %d", len(got.Events))
+	}
+	for i, e := range g.Events {
+		ge := got.Events[i]
+		if ge.Kind != e.Kind || ge.File != e.File || ge.Pos != e.Pos ||
+			ge.Roles != e.Roles || len(ge.Reps) != len(e.Reps) {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, ge, e)
+		}
+	}
+	if got.NumEdges() != 2 {
+		t.Errorf("edges = %d", got.NumEdges())
+	}
+	args := got.EdgeArgs(b.ID, c.ID)
+	if len(args) != 2 || args[0] != ArgReceiver || args[1] != 0 {
+		t.Errorf("edge args = %v", args)
+	}
+	if got.EdgeArgs(a.ID, b.ID) != nil {
+		t.Error("unlabeled edge gained labels")
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"version":1,"events":[{"kind":0}],"edges":[{"s":0,"d":7}]}`)); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestEncodeEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Events) != 0 || g.NumEdges() != 0 {
+		t.Errorf("non-empty decode: %d events", len(g.Events))
+	}
+}

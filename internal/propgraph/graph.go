@@ -1,0 +1,291 @@
+// Package propgraph defines propagation graphs: the events of a program
+// that may propagate tainted information and the information-flow edges
+// between them (paper §3).
+//
+// Events are function calls, object reads (attribute loads, subscripts),
+// and formal parameters. Each event carries an ordered list of
+// representations, from most to least specific, used for backoff during
+// learning (§3.2, §4.3). Two events with equal representations remain
+// distinct vertices; Collapse applies vertex contraction to obtain the
+// Merlin-style collapsed graph (§6.4).
+package propgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"seldon/internal/pytoken"
+)
+
+// EventKind classifies an event.
+type EventKind int
+
+// Event kinds.
+const (
+	KindCall  EventKind = iota // function or method invocation
+	KindRead                   // attribute or subscript load
+	KindParam                  // formal argument of a function definition
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindRead:
+		return "read"
+	case KindParam:
+		return "param"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Role is a taint role an event can play.
+type Role int
+
+// Taint roles.
+const (
+	Source Role = iota
+	Sanitizer
+	Sink
+	NumRoles // number of roles; keep last
+)
+
+func (r Role) String() string {
+	switch r {
+	case Source:
+		return "source"
+	case Sanitizer:
+		return "sanitizer"
+	case Sink:
+		return "sink"
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// Roles returns all roles in canonical order.
+func Roles() []Role { return []Role{Source, Sanitizer, Sink} }
+
+// RoleSet is a small set of roles.
+type RoleSet uint8
+
+// Role set constructors.
+const (
+	SourceOnly RoleSet = 1 << Source
+	SanOnly    RoleSet = 1 << Sanitizer
+	SinkOnly   RoleSet = 1 << Sink
+	AllRoles   RoleSet = SourceOnly | SanOnly | SinkOnly
+)
+
+// Has reports whether the set contains r.
+func (s RoleSet) Has(r Role) bool { return s&(1<<r) != 0 }
+
+// With returns the set extended with r.
+func (s RoleSet) With(r Role) RoleSet { return s | 1<<r }
+
+// CandidateRoles returns the roles an event of kind k may take (§5.1):
+// calls may be anything; reads and parameters may only be sources.
+func CandidateRoles(k EventKind) RoleSet {
+	if k == KindCall {
+		return AllRoles
+	}
+	return SourceOnly
+}
+
+// Event is a vertex of a propagation graph.
+type Event struct {
+	ID   int
+	Kind EventKind
+	File string
+	Pos  pytoken.Pos
+	// Reps lists possible representations, ordered most → least specific.
+	// Reps[0] is the fully qualified name used when matching seed specs.
+	Reps  []string
+	Roles RoleSet // candidate roles, before blacklisting
+}
+
+// Graph is a propagation graph. Edges point in the direction of
+// information flow. Graphs built by the dataflow analyzer are acyclic
+// (loops are analyzed as a single iteration, §5.2).
+type Graph struct {
+	Events []*Event
+	succs  [][]int
+	preds  [][]int
+	// edgeArgs labels edges with the argument positions the flow enters
+	// through (see args.go); unlabeled edges match any position.
+	edgeArgs map[int64][]int
+}
+
+// New returns an empty propagation graph.
+func New() *Graph { return &Graph{} }
+
+// AddEvent appends an event, assigning and returning its ID.
+func (g *Graph) AddEvent(kind EventKind, file string, pos pytoken.Pos, reps []string) *Event {
+	e := &Event{
+		ID: len(g.Events), Kind: kind, File: file, Pos: pos,
+		Reps: reps, Roles: CandidateRoles(kind),
+	}
+	g.Events = append(g.Events, e)
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return e
+}
+
+// AddEdge records information flow from src to dst. Self-loops and
+// duplicate edges are dropped.
+func (g *Graph) AddEdge(src, dst int) {
+	if src == dst || src < 0 || dst < 0 || src >= len(g.Events) || dst >= len(g.Events) {
+		return
+	}
+	for _, s := range g.succs[src] {
+		if s == dst {
+			return
+		}
+	}
+	g.succs[src] = append(g.succs[src], dst)
+	g.preds[dst] = append(g.preds[dst], src)
+}
+
+// Succs returns the IDs of events receiving flow from id.
+func (g *Graph) Succs(id int) []int { return g.succs[id] }
+
+// Preds returns the IDs of events flowing into id.
+func (g *Graph) Preds(id int) []int { return g.preds[id] }
+
+// NumEdges returns the total edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, s := range g.succs {
+		n += len(s)
+	}
+	return n
+}
+
+// Union builds the global propagation graph of a dataset: the disjoint
+// union of the per-program graphs (§4, "Learning over a Global Propagation
+// Graph"). Event IDs are renumbered; inputs are not modified.
+func Union(graphs ...*Graph) *Graph {
+	out := New()
+	for _, g := range graphs {
+		base := len(out.Events)
+		for _, e := range g.Events {
+			ne := *e
+			ne.ID = base + e.ID
+			out.Events = append(out.Events, &ne)
+			out.succs = append(out.succs, nil)
+			out.preds = append(out.preds, nil)
+		}
+		for src, ss := range g.succs {
+			for _, dst := range ss {
+				out.AddEdge(base+src, base+dst)
+			}
+		}
+		out.copyEdgeArgs(g, base)
+	}
+	return out
+}
+
+// Collapse applies vertex contraction, merging all events that share the
+// same most-specific representation into a single vertex (Fig. 7). The
+// result is Merlin's collapsed propagation graph (§6.4); it is generally
+// unsuitable for taint analysis but usable for specification learning.
+// Events without representations are kept as-is.
+func (g *Graph) Collapse() *Graph {
+	out := New()
+	classOf := make([]int, len(g.Events))
+	byRep := make(map[string]int)
+	for _, e := range g.Events {
+		key := ""
+		if len(e.Reps) > 0 {
+			// Contract on the most specific representation, qualified by
+			// kind so a read and a call never merge.
+			key = fmt.Sprintf("%d|%s", e.Kind, e.Reps[0])
+		} else {
+			key = fmt.Sprintf("anon|%d", e.ID)
+		}
+		id, ok := byRep[key]
+		if !ok {
+			ne := *e
+			ne.ID = len(out.Events)
+			out.Events = append(out.Events, &ne)
+			out.succs = append(out.succs, nil)
+			out.preds = append(out.preds, nil)
+			id = ne.ID
+			byRep[key] = id
+		} else {
+			// Candidate roles of merged events accumulate.
+			out.Events[id].Roles |= e.Roles
+		}
+		classOf[e.ID] = id
+	}
+	for src, ss := range g.succs {
+		for _, dst := range ss {
+			out.AddEdge(classOf[src], classOf[dst])
+		}
+	}
+	out.copyEdgeArgsMapped(g, classOf)
+	return out
+}
+
+// ForwardReachable returns the set of event IDs reachable from start by
+// following edges forward, excluding start itself unless it lies on a cycle.
+func (g *Graph) ForwardReachable(start int) []int {
+	return g.reachable(start, g.succs)
+}
+
+// BackwardReachable returns the set of event IDs that can reach start.
+func (g *Graph) BackwardReachable(start int) []int {
+	return g.reachable(start, g.preds)
+}
+
+func (g *Graph) reachable(start int, adj [][]int) []int {
+	seen := make(map[int]bool)
+	queue := append([]int(nil), adj[start]...)
+	var out []int
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+		queue = append(queue, adj[id]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats summarizes a propagation graph for reporting (Table 1).
+type Stats struct {
+	Events      int
+	Edges       int
+	Candidates  int     // events with at least one representation
+	AvgBackoff  float64 // average number of representations per candidate
+	CallEvents  int
+	ReadEvents  int
+	ParamEvents int
+}
+
+// ComputeStats gathers summary statistics.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{Events: len(g.Events), Edges: g.NumEdges()}
+	totalReps := 0
+	for _, e := range g.Events {
+		switch e.Kind {
+		case KindCall:
+			st.CallEvents++
+		case KindRead:
+			st.ReadEvents++
+		case KindParam:
+			st.ParamEvents++
+		}
+		if len(e.Reps) > 0 {
+			st.Candidates++
+			totalReps += len(e.Reps)
+		}
+	}
+	if st.Candidates > 0 {
+		st.AvgBackoff = float64(totalReps) / float64(st.Candidates)
+	}
+	return st
+}

@@ -1,0 +1,252 @@
+package pyast
+
+import (
+	"fmt"
+	"strings"
+
+	"seldon/internal/pytoken"
+)
+
+// Unparse renders an expression back to compact Python-like source text.
+// It is used in tests, in diagnostics, and by the propagation-graph builder
+// to describe event targets. The output is canonical (minimal parentheses,
+// single spaces around binary operators) rather than a byte-exact copy of
+// the original source.
+func Unparse(e Expr) string {
+	var b strings.Builder
+	unparse(&b, e)
+	return b.String()
+}
+
+func unparse(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *Name:
+		b.WriteString(x.Ident)
+	case *Num:
+		b.WriteString(x.Lit)
+	case *Str:
+		b.WriteString(x.Lit)
+	case *JoinedStr:
+		b.WriteString(x.Lit)
+	case *NameConst:
+		b.WriteString(x.Value)
+	case *EllipsisLit:
+		b.WriteString("...")
+	case *Attribute:
+		unparse(b, x.Value)
+		b.WriteByte('.')
+		b.WriteString(x.Attr)
+	case *Subscript:
+		unparse(b, x.Value)
+		b.WriteByte('[')
+		unparse(b, x.Index)
+		b.WriteByte(']')
+	case *Slice:
+		unparse(b, x.Lo)
+		b.WriteByte(':')
+		unparse(b, x.Hi)
+		if x.Step != nil {
+			b.WriteByte(':')
+			unparse(b, x.Step)
+		}
+	case *Call:
+		unparse(b, x.Func)
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			unparse(b, a)
+		}
+		for i, kw := range x.Keywords {
+			if i > 0 || len(x.Args) > 0 {
+				b.WriteString(", ")
+			}
+			if kw.Name == "" {
+				b.WriteString("**")
+			} else {
+				b.WriteString(kw.Name)
+				b.WriteByte('=')
+			}
+			unparse(b, kw.Value)
+		}
+		b.WriteByte(')')
+	case *BinOp:
+		maybeParen(b, x.Left)
+		fmt.Fprintf(b, " %s ", x.Op)
+		maybeParen(b, x.Right)
+	case *BoolOp:
+		for i, v := range x.Values {
+			if i > 0 {
+				fmt.Fprintf(b, " %s ", x.Op)
+			}
+			maybeParen(b, v)
+		}
+	case *UnaryOp:
+		if x.Op == pytoken.KwNot {
+			b.WriteString("not ")
+		} else {
+			fmt.Fprintf(b, "%s", x.Op)
+		}
+		maybeParen(b, x.Operand)
+	case *Compare:
+		maybeParen(b, x.Left)
+		for i, op := range x.Ops {
+			b.WriteByte(' ')
+			switch {
+			case op.Kind == pytoken.KwIn && op.Not:
+				b.WriteString("not in")
+			case op.Kind == pytoken.KwIs && op.Not:
+				b.WriteString("is not")
+			default:
+				fmt.Fprintf(b, "%s", op.Kind)
+			}
+			b.WriteByte(' ')
+			maybeParen(b, x.Comparators[i])
+		}
+	case *IfExp:
+		maybeParen(b, x.Then)
+		b.WriteString(" if ")
+		maybeParen(b, x.Cond)
+		b.WriteString(" else ")
+		maybeParen(b, x.Else)
+	case *Lambda:
+		b.WriteString("lambda")
+		for i, p := range x.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte(' ')
+			writeParam(b, p)
+		}
+		b.WriteString(": ")
+		unparse(b, x.Body)
+	case *Tuple:
+		b.WriteByte('(')
+		for i, el := range x.Elts {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			unparse(b, el)
+		}
+		if len(x.Elts) == 1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte(')')
+	case *List:
+		b.WriteByte('[')
+		writeList(b, x.Elts)
+		b.WriteByte(']')
+	case *Set:
+		b.WriteByte('{')
+		writeList(b, x.Elts)
+		b.WriteByte('}')
+	case *Dict:
+		b.WriteByte('{')
+		for i := range x.Keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if x.Keys[i] == nil {
+				b.WriteString("**")
+				unparse(b, x.Values[i])
+				continue
+			}
+			unparse(b, x.Keys[i])
+			b.WriteString(": ")
+			unparse(b, x.Values[i])
+		}
+		b.WriteByte('}')
+	case *Comp:
+		open, close := compBrackets(x.Kind)
+		b.WriteString(open)
+		unparse(b, x.Elt)
+		if x.Kind == DictComp {
+			b.WriteString(": ")
+			unparse(b, x.Value)
+		}
+		for _, c := range x.Clauses {
+			b.WriteString(" for ")
+			unparse(b, c.Target)
+			b.WriteString(" in ")
+			maybeParen(b, c.Iter)
+			for _, cond := range c.Ifs {
+				b.WriteString(" if ")
+				maybeParen(b, cond)
+			}
+		}
+		b.WriteString(close)
+	case *Starred:
+		b.WriteByte('*')
+		unparse(b, x.Value)
+	case *Await:
+		b.WriteString("await ")
+		maybeParen(b, x.Value)
+	case *Yield:
+		b.WriteString("yield")
+		if x.From {
+			b.WriteString(" from")
+		}
+		if x.Value != nil {
+			b.WriteByte(' ')
+			unparse(b, x.Value)
+		}
+	case *NamedExpr:
+		b.WriteByte('(')
+		unparse(b, x.Target)
+		b.WriteString(" := ")
+		unparse(b, x.Value)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+func compBrackets(k CompKind) (string, string) {
+	switch k {
+	case ListComp:
+		return "[", "]"
+	case SetComp, DictComp:
+		return "{", "}"
+	default:
+		return "(", ")"
+	}
+}
+
+func writeList(b *strings.Builder, es []Expr) {
+	for i, e := range es {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		unparse(b, e)
+	}
+}
+
+func writeParam(b *strings.Builder, p *Param) {
+	if p.Star {
+		b.WriteByte('*')
+	}
+	if p.DoubleStar {
+		b.WriteString("**")
+	}
+	b.WriteString(p.Name)
+	if p.Default != nil {
+		b.WriteByte('=')
+		unparse(b, p.Default)
+	}
+}
+
+// maybeParen parenthesizes compound subexpressions so the canonical output
+// is unambiguous without tracking precedence.
+func maybeParen(b *strings.Builder, e Expr) {
+	switch e.(type) {
+	case *BinOp, *BoolOp, *Compare, *IfExp, *Lambda, *UnaryOp, *Yield:
+		b.WriteByte('(')
+		unparse(b, e)
+		b.WriteByte(')')
+	default:
+		unparse(b, e)
+	}
+}

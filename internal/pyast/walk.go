@@ -1,0 +1,162 @@
+package pyast
+
+// Inspect traverses the AST rooted at n in depth-first order, calling f for
+// each node. If f returns false for a node, its children are skipped.
+// Statement lists inside Module are traversed via their parent nodes, so
+// callers normally start from a *Module.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil {
+		return
+	}
+	if !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Module:
+		inspectStmts(x.Body, f)
+
+	case *FunctionDef:
+		inspectExprs(x.Decorators, f)
+		for _, p := range x.Params {
+			Inspect(p, f)
+		}
+		Inspect(x.Returns, f)
+		inspectStmts(x.Body, f)
+	case *Param:
+		Inspect(x.Annotation, f)
+		Inspect(x.Default, f)
+	case *ClassDef:
+		inspectExprs(x.Decorators, f)
+		inspectExprs(x.Bases, f)
+		for _, kw := range x.Keywords {
+			Inspect(kw.Value, f)
+		}
+		inspectStmts(x.Body, f)
+	case *Return:
+		Inspect(x.Value, f)
+	case *Delete:
+		inspectExprs(x.Targets, f)
+	case *Assign:
+		inspectExprs(x.Targets, f)
+		Inspect(x.Value, f)
+	case *AugAssign:
+		Inspect(x.Target, f)
+		Inspect(x.Value, f)
+	case *AnnAssign:
+		Inspect(x.Target, f)
+		Inspect(x.Annotation, f)
+		Inspect(x.Value, f)
+	case *For:
+		Inspect(x.Target, f)
+		Inspect(x.Iter, f)
+		inspectStmts(x.Body, f)
+		inspectStmts(x.Else, f)
+	case *While:
+		Inspect(x.Cond, f)
+		inspectStmts(x.Body, f)
+		inspectStmts(x.Else, f)
+	case *If:
+		Inspect(x.Cond, f)
+		inspectStmts(x.Body, f)
+		inspectStmts(x.Else, f)
+	case *With:
+		for _, it := range x.Items {
+			Inspect(it.Context, f)
+			Inspect(it.Vars, f)
+		}
+		inspectStmts(x.Body, f)
+	case *Raise:
+		Inspect(x.Exc, f)
+		Inspect(x.Cause, f)
+	case *Try:
+		inspectStmts(x.Body, f)
+		for _, h := range x.Handlers {
+			Inspect(h.Type, f)
+			inspectStmts(h.Body, f)
+		}
+		inspectStmts(x.Else, f)
+		inspectStmts(x.Finally, f)
+	case *Assert:
+		Inspect(x.Cond, f)
+		Inspect(x.Msg, f)
+	case *ExprStmt:
+		Inspect(x.Value, f)
+
+	case *JoinedStr:
+		inspectExprs(x.Values, f)
+	case *Attribute:
+		Inspect(x.Value, f)
+	case *Subscript:
+		Inspect(x.Value, f)
+		Inspect(x.Index, f)
+	case *Slice:
+		Inspect(x.Lo, f)
+		Inspect(x.Hi, f)
+		Inspect(x.Step, f)
+	case *Call:
+		Inspect(x.Func, f)
+		inspectExprs(x.Args, f)
+		for _, kw := range x.Keywords {
+			Inspect(kw.Value, f)
+		}
+	case *BinOp:
+		Inspect(x.Left, f)
+		Inspect(x.Right, f)
+	case *BoolOp:
+		inspectExprs(x.Values, f)
+	case *UnaryOp:
+		Inspect(x.Operand, f)
+	case *Compare:
+		Inspect(x.Left, f)
+		inspectExprs(x.Comparators, f)
+	case *IfExp:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *Lambda:
+		for _, p := range x.Params {
+			Inspect(p, f)
+		}
+		Inspect(x.Body, f)
+	case *Tuple:
+		inspectExprs(x.Elts, f)
+	case *List:
+		inspectExprs(x.Elts, f)
+	case *Set:
+		inspectExprs(x.Elts, f)
+	case *Dict:
+		for i := range x.Keys {
+			Inspect(x.Keys[i], f)
+			Inspect(x.Values[i], f)
+		}
+	case *Comp:
+		Inspect(x.Elt, f)
+		Inspect(x.Value, f)
+		for _, c := range x.Clauses {
+			Inspect(c.Target, f)
+			Inspect(c.Iter, f)
+			inspectExprs(c.Ifs, f)
+		}
+	case *Starred:
+		Inspect(x.Value, f)
+	case *Await:
+		Inspect(x.Value, f)
+	case *Yield:
+		Inspect(x.Value, f)
+	case *NamedExpr:
+		Inspect(x.Target, f)
+		Inspect(x.Value, f)
+	}
+}
+
+func inspectStmts(ss []Stmt, f func(Node) bool) {
+	for _, s := range ss {
+		Inspect(s, f)
+	}
+}
+
+func inspectExprs(es []Expr, f func(Node) bool) {
+	for _, e := range es {
+		Inspect(e, f)
+	}
+}

@@ -1,0 +1,45 @@
+package pyparse
+
+import (
+	"strings"
+	"testing"
+
+	"seldon/internal/pytoken"
+)
+
+// benchSource is a realistic handler-module shape.
+var benchSource = strings.Repeat(`from flask import request, Response
+import os
+
+@app.route('/search')
+def search(limit=10, *args, **kwargs):
+    term = request.args.get('q')
+    rows = [normalize(r) for r in db.query(term) if r.ok]
+    try:
+        payload = {'rows': rows, 'n': len(rows)}
+    except ValueError as e:
+        payload = {}
+    return Response(render(payload))
+
+class View(MethodView):
+    def post(self):
+        return self.render(request.form.get('x'))
+`, 8)
+
+func BenchmarkScan(b *testing.B) {
+	b.SetBytes(int64(len(benchSource)))
+	for i := 0; i < b.N; i++ {
+		sc := pytoken.NewScanner("bench.py", benchSource)
+		for sc.Scan().Kind != pytoken.EOF {
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchSource)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("bench.py", benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

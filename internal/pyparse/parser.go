@@ -1,0 +1,671 @@
+// Package pyparse implements a recursive-descent parser for the Python
+// subset Seldon analyzes.
+//
+// The parser consumes the token stream produced by pytoken and builds a
+// pyast.Module. It covers the statement and expression grammar needed for
+// real-world web-application code: function/class definitions with
+// decorators, the full assignment family, control flow, imports,
+// comprehensions, lambdas, conditional expressions, and chained
+// comparisons. Errors are accumulated; within a suite the parser resyncs at
+// statement boundaries so a single bad statement does not abort the file.
+package pyparse
+
+import (
+	"fmt"
+	"strings"
+
+	"seldon/internal/pyast"
+	"seldon/internal/pytoken"
+)
+
+// ParseError describes a syntax error with its source position.
+type ParseError struct {
+	File string
+	Pos  pytoken.Pos
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}
+
+// bailout is panicked with internally to unwind to the statement resync
+// point; it never escapes the package.
+type bailout struct{}
+
+type parser struct {
+	file string
+	toks []pytoken.Token
+	pos  int
+	errs []error
+}
+
+// Parse parses src into a module. The returned module contains every
+// statement that parsed successfully even when err is non-nil.
+func Parse(file, src string) (*pyast.Module, error) {
+	toks, scanErr := pytoken.ScanAll(file, src)
+	p := &parser{file: file, toks: toks}
+	if scanErr != nil {
+		p.errs = append(p.errs, scanErr)
+	}
+	mod := &pyast.Module{File: file, Body: p.parseSuiteUntil(pytoken.EOF)}
+	return mod, p.err()
+}
+
+func (p *parser) err() error {
+	if len(p.errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, 0, len(p.errs))
+	for _, e := range p.errs {
+		msgs = append(msgs, e.Error())
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "\n"))
+}
+
+func (p *parser) cur() pytoken.Token     { return p.toks[p.pos] }
+func (p *parser) at(k pytoken.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) peekKind(n int) pytoken.Kind {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n].Kind
+	}
+	return pytoken.EOF
+}
+
+func (p *parser) next() pytoken.Token {
+	t := p.cur()
+	if t.Kind != pytoken.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k pytoken.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k pytoken.Kind) pytoken.Token {
+	if !p.at(k) {
+		p.errorf("expected %s, found %s", k, p.cur())
+	}
+	return p.next()
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &ParseError{File: p.file, Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+	panic(bailout{})
+}
+
+// sync skips tokens until just past the next NEWLINE at bracket depth zero
+// (the scanner guarantees NEWLINE only appears at depth zero), or until a
+// DEDENT/EOF, so parsing can resume at the next statement.
+func (p *parser) sync() {
+	for {
+		switch p.cur().Kind {
+		case pytoken.EOF, pytoken.DEDENT:
+			return
+		case pytoken.NEWLINE:
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// parseSuiteUntil parses statements until the terminator kind, recovering
+// from per-statement errors.
+func (p *parser) parseSuiteUntil(end pytoken.Kind) []pyast.Stmt {
+	var body []pyast.Stmt
+	for !p.at(end) && !p.at(pytoken.EOF) {
+		before := p.pos
+		stmts := p.parseStatementRecover()
+		body = append(body, stmts...)
+		if p.pos == before {
+			// Guarantee progress on malformed input (e.g. a stray DEDENT
+			// at top level that error recovery refuses to consume).
+			p.next()
+		}
+	}
+	if p.at(end) && end != pytoken.EOF {
+		p.next()
+	}
+	return body
+}
+
+func (p *parser) parseStatementRecover() (stmts []pyast.Stmt) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+			p.sync()
+		}
+	}()
+	return p.parseStatement()
+}
+
+// parseStatement parses one logical line (possibly several simple
+// statements separated by semicolons) or one compound statement.
+func (p *parser) parseStatement() []pyast.Stmt {
+	switch p.cur().Kind {
+	case pytoken.NEWLINE:
+		p.next()
+		return nil
+	case pytoken.KwIf:
+		return []pyast.Stmt{p.parseIf()}
+	case pytoken.KwWhile:
+		return []pyast.Stmt{p.parseWhile()}
+	case pytoken.KwFor:
+		return []pyast.Stmt{p.parseFor(false)}
+	case pytoken.KwTry:
+		return []pyast.Stmt{p.parseTry()}
+	case pytoken.KwWith:
+		return []pyast.Stmt{p.parseWith(false)}
+	case pytoken.KwDef:
+		return []pyast.Stmt{p.parseFunctionDef(nil, false)}
+	case pytoken.KwClass:
+		return []pyast.Stmt{p.parseClassDef(nil)}
+	case pytoken.AT:
+		return []pyast.Stmt{p.parseDecorated()}
+	case pytoken.KwAsync:
+		return []pyast.Stmt{p.parseAsync()}
+	default:
+		return p.parseSimpleLine()
+	}
+}
+
+func (p *parser) parseAsync() pyast.Stmt {
+	p.next() // async
+	switch p.cur().Kind {
+	case pytoken.KwDef:
+		return p.parseFunctionDef(nil, true)
+	case pytoken.KwFor:
+		return p.parseFor(true)
+	case pytoken.KwWith:
+		return p.parseWith(true)
+	}
+	p.errorf("expected def, for, or with after async")
+	return nil
+}
+
+func (p *parser) parseDecorated() pyast.Stmt {
+	var decorators []pyast.Expr
+	for p.at(pytoken.AT) {
+		p.next()
+		decorators = append(decorators, p.parseExpr())
+		p.expect(pytoken.NEWLINE)
+	}
+	switch p.cur().Kind {
+	case pytoken.KwDef:
+		return p.parseFunctionDef(decorators, false)
+	case pytoken.KwClass:
+		return p.parseClassDef(decorators)
+	case pytoken.KwAsync:
+		p.next()
+		if p.at(pytoken.KwDef) {
+			return p.parseFunctionDef(decorators, true)
+		}
+	}
+	p.errorf("expected def or class after decorators")
+	return nil
+}
+
+func (p *parser) parseFunctionDef(decorators []pyast.Expr, async bool) pyast.Stmt {
+	defTok := p.expect(pytoken.KwDef)
+	name := p.expect(pytoken.NAME)
+	p.expect(pytoken.LPAREN)
+	params := p.parseParams(pytoken.RPAREN, true)
+	p.expect(pytoken.RPAREN)
+	var returns pyast.Expr
+	if p.accept(pytoken.ARROW) {
+		returns = p.parseExpr()
+	}
+	body := p.parseBlock()
+	return &pyast.FunctionDef{
+		DefPos: defTok.Pos, Name: name.Lit, Params: params,
+		Decorators: decorators, Returns: returns, Body: body, Async: async,
+	}
+}
+
+// parseParams parses a parameter list up to (not including) end.
+// It handles defaults, annotations (when allowAnn — lambdas forbid them,
+// since `:` ends the lambda's parameter list), *args, **kwargs, and the
+// bare `*` and `/` separators (recorded only for their effect on parsing).
+func (p *parser) parseParams(end pytoken.Kind, allowAnn bool) []*pyast.Param {
+	var params []*pyast.Param
+	for !p.at(end) && !p.at(pytoken.EOF) {
+		switch {
+		case p.accept(pytoken.SLASH):
+			// positional-only marker: nothing to record
+		case p.at(pytoken.STAR):
+			starPos := p.next().Pos
+			if p.at(pytoken.NAME) {
+				prm := &pyast.Param{NamePos: starPos, Name: p.next().Lit, Star: true}
+				p.parseParamTail(prm, allowAnn)
+				params = append(params, prm)
+			}
+			// bare `*` (keyword-only marker): nothing to record
+		case p.at(pytoken.DOUBLESTAR):
+			pos := p.next().Pos
+			nm := p.expect(pytoken.NAME)
+			prm := &pyast.Param{NamePos: pos, Name: nm.Lit, DoubleStar: true}
+			p.parseParamTail(prm, allowAnn)
+			params = append(params, prm)
+		case p.at(pytoken.NAME):
+			nm := p.next()
+			prm := &pyast.Param{NamePos: nm.Pos, Name: nm.Lit}
+			p.parseParamTail(prm, allowAnn)
+			params = append(params, prm)
+		default:
+			p.errorf("unexpected %s in parameter list", p.cur())
+		}
+		if !p.accept(pytoken.COMMA) {
+			break
+		}
+	}
+	return params
+}
+
+func (p *parser) parseParamTail(prm *pyast.Param, allowAnn bool) {
+	if allowAnn && p.accept(pytoken.COLON) {
+		prm.Annotation = p.parseExpr()
+	}
+	if p.accept(pytoken.ASSIGN) {
+		prm.Default = p.parseExpr()
+	}
+}
+
+func (p *parser) parseClassDef(decorators []pyast.Expr) pyast.Stmt {
+	classTok := p.expect(pytoken.KwClass)
+	name := p.expect(pytoken.NAME)
+	var bases []pyast.Expr
+	var kws []*pyast.Keyword
+	if p.accept(pytoken.LPAREN) {
+		bases, kws = p.parseCallArgs()
+		p.expect(pytoken.RPAREN)
+	}
+	body := p.parseBlock()
+	return &pyast.ClassDef{
+		ClassPos: classTok.Pos, Name: name.Lit, Bases: bases,
+		Keywords: kws, Decorators: decorators, Body: body,
+	}
+}
+
+// parseBlock parses `: NEWLINE INDENT stmts DEDENT` or a same-line suite.
+func (p *parser) parseBlock() []pyast.Stmt {
+	p.expect(pytoken.COLON)
+	if p.accept(pytoken.NEWLINE) {
+		p.expect(pytoken.INDENT)
+		return p.parseSuiteUntil(pytoken.DEDENT)
+	}
+	// Inline suite: `if x: y = 1; z = 2`
+	stmts := p.parseSimpleLine()
+	return stmts
+}
+
+func (p *parser) parseIf() pyast.Stmt {
+	ifTok := p.next()
+	cond := p.parseNamedExprOrExpr()
+	body := p.parseBlock()
+	var els []pyast.Stmt
+	switch p.cur().Kind {
+	case pytoken.KwElif:
+		els = []pyast.Stmt{p.parseIf()} // KwElif parses like KwIf
+	case pytoken.KwElse:
+		p.next()
+		els = p.parseBlock()
+	}
+	return &pyast.If{IfPos: ifTok.Pos, Cond: cond, Body: body, Else: els}
+}
+
+func (p *parser) parseWhile() pyast.Stmt {
+	tok := p.next()
+	cond := p.parseNamedExprOrExpr()
+	body := p.parseBlock()
+	var els []pyast.Stmt
+	if p.accept(pytoken.KwElse) {
+		els = p.parseBlock()
+	}
+	return &pyast.While{WhilePos: tok.Pos, Cond: cond, Body: body, Else: els}
+}
+
+func (p *parser) parseFor(async bool) pyast.Stmt {
+	tok := p.expect(pytoken.KwFor)
+	target := p.parseTargetList()
+	p.expect(pytoken.KwIn)
+	iter := p.parseExprList()
+	body := p.parseBlock()
+	var els []pyast.Stmt
+	if p.accept(pytoken.KwElse) {
+		els = p.parseBlock()
+	}
+	return &pyast.For{ForPos: tok.Pos, Target: target, Iter: iter, Body: body, Else: els, Async: async}
+}
+
+func (p *parser) parseTry() pyast.Stmt {
+	tok := p.next()
+	body := p.parseBlock()
+	t := &pyast.Try{TryPos: tok.Pos, Body: body}
+	for p.at(pytoken.KwExcept) {
+		exTok := p.next()
+		h := &pyast.ExceptHandler{ExceptPos: exTok.Pos}
+		if !p.at(pytoken.COLON) {
+			h.Type = p.parseExpr()
+			if p.accept(pytoken.KwAs) {
+				h.Name = p.expect(pytoken.NAME).Lit
+			}
+		}
+		h.Body = p.parseBlock()
+		t.Handlers = append(t.Handlers, h)
+	}
+	if p.accept(pytoken.KwElse) {
+		t.Else = p.parseBlock()
+	}
+	if p.accept(pytoken.KwFinally) {
+		t.Finally = p.parseBlock()
+	}
+	if len(t.Handlers) == 0 && t.Finally == nil {
+		p.errorf("try statement must have except or finally")
+	}
+	return t
+}
+
+func (p *parser) parseWith(async bool) pyast.Stmt {
+	tok := p.expect(pytoken.KwWith)
+	w := &pyast.With{WithPos: tok.Pos, Async: async}
+	for {
+		item := &pyast.WithItem{Context: p.parseExpr()}
+		if p.accept(pytoken.KwAs) {
+			item.Vars = p.parsePrimaryTarget()
+		}
+		w.Items = append(w.Items, item)
+		if !p.accept(pytoken.COMMA) {
+			break
+		}
+	}
+	w.Body = p.parseBlock()
+	return w
+}
+
+// parseSimpleLine parses semicolon-separated simple statements up to NEWLINE.
+func (p *parser) parseSimpleLine() []pyast.Stmt {
+	var stmts []pyast.Stmt
+	for {
+		stmts = append(stmts, p.parseSimpleStatement())
+		if !p.accept(pytoken.SEMI) {
+			break
+		}
+		if p.at(pytoken.NEWLINE) || p.at(pytoken.EOF) {
+			break
+		}
+	}
+	if !p.accept(pytoken.NEWLINE) && !p.at(pytoken.EOF) && !p.at(pytoken.DEDENT) {
+		p.errorf("expected end of statement, found %s", p.cur())
+	}
+	return stmts
+}
+
+func (p *parser) parseSimpleStatement() pyast.Stmt {
+	switch p.cur().Kind {
+	case pytoken.KwReturn:
+		tok := p.next()
+		var val pyast.Expr
+		if !p.at(pytoken.NEWLINE) && !p.at(pytoken.SEMI) && !p.at(pytoken.EOF) && !p.at(pytoken.DEDENT) {
+			val = p.parseExprList()
+		}
+		return &pyast.Return{ReturnPos: tok.Pos, Value: val}
+	case pytoken.KwPass:
+		return &pyast.Pass{PassPos: p.next().Pos}
+	case pytoken.KwBreak:
+		return &pyast.Break{BreakPos: p.next().Pos}
+	case pytoken.KwContinue:
+		return &pyast.Continue{ContinuePos: p.next().Pos}
+	case pytoken.KwDel:
+		tok := p.next()
+		d := &pyast.Delete{DelPos: tok.Pos}
+		for {
+			d.Targets = append(d.Targets, p.parsePrimaryTarget())
+			if !p.accept(pytoken.COMMA) {
+				break
+			}
+		}
+		return d
+	case pytoken.KwRaise:
+		tok := p.next()
+		r := &pyast.Raise{RaisePos: tok.Pos}
+		if !p.at(pytoken.NEWLINE) && !p.at(pytoken.SEMI) && !p.at(pytoken.EOF) && !p.at(pytoken.DEDENT) {
+			r.Exc = p.parseExpr()
+			if p.accept(pytoken.KwFrom) {
+				r.Cause = p.parseExpr()
+			}
+		}
+		return r
+	case pytoken.KwImport:
+		return p.parseImport()
+	case pytoken.KwFrom:
+		return p.parseImportFrom()
+	case pytoken.KwGlobal:
+		tok := p.next()
+		return &pyast.Global{GlobalPos: tok.Pos, Names: p.parseNameList()}
+	case pytoken.KwNonlocal:
+		tok := p.next()
+		return &pyast.Nonlocal{NonlocalPos: tok.Pos, Names: p.parseNameList()}
+	case pytoken.KwAssert:
+		tok := p.next()
+		a := &pyast.Assert{AssertPos: tok.Pos, Cond: p.parseExpr()}
+		if p.accept(pytoken.COMMA) {
+			a.Msg = p.parseExpr()
+		}
+		return a
+	default:
+		return p.parseExprOrAssign()
+	}
+}
+
+func (p *parser) parseNameList() []string {
+	var names []string
+	for {
+		names = append(names, p.expect(pytoken.NAME).Lit)
+		if !p.accept(pytoken.COMMA) {
+			break
+		}
+	}
+	return names
+}
+
+func (p *parser) parseImport() pyast.Stmt {
+	tok := p.next()
+	imp := &pyast.Import{ImportPos: tok.Pos}
+	for {
+		imp.Names = append(imp.Names, p.parseAlias(true))
+		if !p.accept(pytoken.COMMA) {
+			break
+		}
+	}
+	return imp
+}
+
+func (p *parser) parseImportFrom() pyast.Stmt {
+	tok := p.next() // from
+	level := 0
+	for {
+		if p.accept(pytoken.DOT) {
+			level++
+		} else if p.accept(pytoken.ELLIPSIS) {
+			level += 3
+		} else {
+			break
+		}
+	}
+	module := ""
+	if p.at(pytoken.NAME) {
+		module = p.parseDottedName()
+	}
+	p.expect(pytoken.KwImport)
+	imp := &pyast.ImportFrom{FromPos: tok.Pos, Module: module, Level: level}
+	if p.accept(pytoken.STAR) {
+		imp.Names = append(imp.Names, &pyast.Alias{Name: "*"})
+		return imp
+	}
+	paren := p.accept(pytoken.LPAREN)
+	for {
+		imp.Names = append(imp.Names, p.parseAlias(false))
+		if !p.accept(pytoken.COMMA) {
+			break
+		}
+		if paren && p.at(pytoken.RPAREN) {
+			break
+		}
+	}
+	if paren {
+		p.expect(pytoken.RPAREN)
+	}
+	return imp
+}
+
+func (p *parser) parseAlias(dotted bool) *pyast.Alias {
+	var name string
+	if dotted {
+		name = p.parseDottedName()
+	} else {
+		name = p.expect(pytoken.NAME).Lit
+	}
+	a := &pyast.Alias{Name: name}
+	if p.accept(pytoken.KwAs) {
+		a.AsName = p.expect(pytoken.NAME).Lit
+	}
+	return a
+}
+
+func (p *parser) parseDottedName() string {
+	var b strings.Builder
+	b.WriteString(p.expect(pytoken.NAME).Lit)
+	for p.at(pytoken.DOT) && p.peekKind(1) == pytoken.NAME {
+		p.next()
+		b.WriteByte('.')
+		b.WriteString(p.next().Lit)
+	}
+	return b.String()
+}
+
+// parseExprOrAssign parses an expression statement, assignment chain,
+// augmented assignment, or annotated assignment.
+func (p *parser) parseExprOrAssign() pyast.Stmt {
+	first := p.parseExprList()
+	switch {
+	case p.at(pytoken.ASSIGN):
+		targets := []pyast.Expr{first}
+		var value pyast.Expr
+		for p.accept(pytoken.ASSIGN) {
+			value = p.parseExprListOrYield()
+			if p.at(pytoken.ASSIGN) {
+				targets = append(targets, value)
+			}
+		}
+		return &pyast.Assign{Targets: targets, Value: value}
+	case p.at(pytoken.COLON):
+		p.next()
+		ann := p.parseExpr()
+		st := &pyast.AnnAssign{Target: first, Annotation: ann}
+		if p.accept(pytoken.ASSIGN) {
+			st.Value = p.parseExprListOrYield()
+		}
+		return st
+	case isAugAssign(p.cur().Kind):
+		op := p.next().Kind
+		return &pyast.AugAssign{Target: first, Op: op, Value: p.parseExprListOrYield()}
+	default:
+		return &pyast.ExprStmt{Value: first}
+	}
+}
+
+func isAugAssign(k pytoken.Kind) bool {
+	switch k {
+	case pytoken.PLUSEQ, pytoken.MINUSEQ, pytoken.STAREQ, pytoken.SLASHEQ,
+		pytoken.DOUBLESLASHEQ, pytoken.PERCENTEQ, pytoken.AMPEREQ,
+		pytoken.PIPEEQ, pytoken.CARETEQ, pytoken.LSHIFTEQ,
+		pytoken.RSHIFTEQ, pytoken.DOUBLESTAREQ, pytoken.ATEQ:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseExprListOrYield() pyast.Expr {
+	if p.at(pytoken.KwYield) {
+		return p.parseYield()
+	}
+	return p.parseExprList()
+}
+
+// parseExprList parses `expr (, expr)* [,]`, returning a Tuple when more
+// than one element (or a trailing comma) is present.
+func (p *parser) parseExprList() pyast.Expr {
+	first := p.parseStarOrExpr()
+	if !p.at(pytoken.COMMA) {
+		return first
+	}
+	tup := &pyast.Tuple{TuplePos: first.Pos(), Elts: []pyast.Expr{first}}
+	for p.accept(pytoken.COMMA) {
+		if p.exprListEnds() {
+			break
+		}
+		tup.Elts = append(tup.Elts, p.parseStarOrExpr())
+	}
+	return tup
+}
+
+func (p *parser) exprListEnds() bool {
+	switch p.cur().Kind {
+	case pytoken.NEWLINE, pytoken.EOF, pytoken.SEMI, pytoken.ASSIGN,
+		pytoken.RPAREN, pytoken.RBRACKET, pytoken.RBRACE, pytoken.COLON,
+		pytoken.DEDENT:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseStarOrExpr() pyast.Expr {
+	if p.at(pytoken.STAR) {
+		tok := p.next()
+		return &pyast.Starred{StarPos: tok.Pos, Value: p.parseExpr()}
+	}
+	return p.parseExpr()
+}
+
+// parseTargetList parses a for-loop target (possibly a tuple).
+func (p *parser) parseTargetList() pyast.Expr {
+	first := p.parseStarOrTarget()
+	if !p.at(pytoken.COMMA) {
+		return first
+	}
+	tup := &pyast.Tuple{TuplePos: first.Pos(), Elts: []pyast.Expr{first}}
+	for p.accept(pytoken.COMMA) {
+		if p.at(pytoken.KwIn) {
+			break
+		}
+		tup.Elts = append(tup.Elts, p.parseStarOrTarget())
+	}
+	return tup
+}
+
+func (p *parser) parseStarOrTarget() pyast.Expr {
+	if p.at(pytoken.STAR) {
+		tok := p.next()
+		return &pyast.Starred{StarPos: tok.Pos, Value: p.parsePrimaryTarget()}
+	}
+	return p.parsePrimaryTarget()
+}
+
+// parsePrimaryTarget parses an assignable primary: name, attribute,
+// subscript, or a parenthesized/bracketed target list.
+func (p *parser) parsePrimaryTarget() pyast.Expr {
+	return p.parsePostfix(p.parseAtom())
+}

@@ -1,0 +1,143 @@
+package pytoken
+
+import "testing"
+
+func TestTripleQuotedWithEmbeddedQuotes(t *testing.T) {
+	src := `s = """she said "hi" to me"""` + "\n"
+	toks, err := ScanAll("t.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Lit != `"""she said "hi" to me"""` {
+		t.Errorf("got %v", toks[2])
+	}
+}
+
+func TestTripleQuotedDocstringSpansLines(t *testing.T) {
+	src := "def f():\n    \"\"\"doc\n    more doc\n    \"\"\"\n    return 1\n"
+	toks, err := ScanAll("t.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The docstring must be one STRING token and the function body must
+	// still parse (NEWLINE after the string, return afterwards).
+	sawString, sawReturn := false, false
+	for _, tok := range toks {
+		if tok.Kind == STRING {
+			sawString = true
+		}
+		if tok.Kind == KwReturn {
+			sawReturn = true
+		}
+	}
+	if !sawString || !sawReturn {
+		t.Errorf("string=%v return=%v", sawString, sawReturn)
+	}
+}
+
+func TestEscapedQuoteInsideString(t *testing.T) {
+	toks, err := ScanAll("t.py", `x = 'don\'t'`+"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Lit != `'don\'t'` {
+		t.Errorf("lit = %q", toks[2].Lit)
+	}
+}
+
+func TestRawStringBackslashes(t *testing.T) {
+	toks, err := ScanAll("t.py", `p = r'C:\new\folder'`+"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Lit != `r'C:\new\folder'` {
+		t.Errorf("lit = %q", toks[2].Lit)
+	}
+}
+
+func TestCommentAtEndOfCodeLine(t *testing.T) {
+	toks, err := ScanAll("t.py", "x = 1  # trailing comment\ny = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{}
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Kind{NAME, ASSIGN, NUMBER, NEWLINE, NAME, ASSIGN, NUMBER, NEWLINE, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("kind[%d] = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestIndentInsideBracketsIgnored(t *testing.T) {
+	src := "x = [\n        1,\n2,\n    3]\ny = 4\n"
+	toks, err := ScanAll("t.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Kind == INDENT || tok.Kind == DEDENT {
+			t.Fatalf("indentation token inside brackets: %v", tok)
+		}
+	}
+}
+
+func TestSemicolonSeparatedStatements(t *testing.T) {
+	toks, _ := ScanAll("t.py", "a = 1; b = 2\n")
+	semi := 0
+	for _, tok := range toks {
+		if tok.Kind == SEMI {
+			semi++
+		}
+	}
+	if semi != 1 {
+		t.Errorf("semicolons = %d", semi)
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	toks, err := ScanAll("t.py", "naïve = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != NAME || toks[0].Lit != "naïve" {
+		t.Errorf("got %v", toks[0])
+	}
+}
+
+func TestFStringWithBraces(t *testing.T) {
+	toks, err := ScanAll("t.py", `m = f"rows: {len(rows)} of {total}"`+"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING {
+		t.Errorf("f-string not a single STRING token: %v", toks[2])
+	}
+}
+
+func TestMixedOperatorsNoSpaces(t *testing.T) {
+	toks, _ := ScanAll("t.py", "x=-1\ny=a<=b\nz=c//d\n")
+	var kinds []Kind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Kind{
+		NAME, ASSIGN, MINUS, NUMBER, NEWLINE,
+		NAME, ASSIGN, NAME, LE, NAME, NEWLINE,
+		NAME, ASSIGN, NAME, DOUBLESLASH, NAME, NEWLINE, EOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("kind[%d] = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package pytoken
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// kinds collects the token kinds for src, excluding the trailing EOF.
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := ScanAll("test.py", src)
+	if err != nil {
+		t.Fatalf("ScanAll(%q): %v", src, err)
+	}
+	var ks []Kind
+	for _, tok := range toks {
+		if tok.Kind == EOF {
+			break
+		}
+		ks = append(ks, tok.Kind)
+	}
+	return ks
+}
+
+func kindsEqual(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimpleStatement(t *testing.T) {
+	got := kinds(t, "x = 1\n")
+	want := []Kind{NAME, ASSIGN, NUMBER, NEWLINE}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestIndentDedent(t *testing.T) {
+	src := "def f():\n    x = 1\n    return x\ny = 2\n"
+	got := kinds(t, src)
+	want := []Kind{
+		KwDef, NAME, LPAREN, RPAREN, COLON, NEWLINE,
+		INDENT, NAME, ASSIGN, NUMBER, NEWLINE,
+		KwReturn, NAME, NEWLINE,
+		DEDENT, NAME, ASSIGN, NUMBER, NEWLINE,
+	}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNestedIndentationDedentsAtEOF(t *testing.T) {
+	src := "if a:\n  if b:\n    c"
+	got := kinds(t, src)
+	want := []Kind{
+		KwIf, NAME, COLON, NEWLINE,
+		INDENT, KwIf, NAME, COLON, NEWLINE,
+		INDENT, NAME, NEWLINE,
+		DEDENT, DEDENT,
+	}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBlankAndCommentLinesIgnored(t *testing.T) {
+	src := "x = 1\n\n# comment\n   \ny = 2\n"
+	got := kinds(t, src)
+	want := []Kind{NAME, ASSIGN, NUMBER, NEWLINE, NAME, ASSIGN, NUMBER, NEWLINE}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestImplicitLineJoining(t *testing.T) {
+	src := "f(a,\n  b,\n  c)\n"
+	got := kinds(t, src)
+	want := []Kind{NAME, LPAREN, NAME, COMMA, NAME, COMMA, NAME, RPAREN, NEWLINE}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExplicitLineJoining(t *testing.T) {
+	src := "x = 1 + \\\n    2\n"
+	got := kinds(t, src)
+	want := []Kind{NAME, ASSIGN, NUMBER, PLUS, NUMBER, NEWLINE}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	cases := []struct {
+		src string
+		lit string
+	}{
+		{`s = 'abc'` + "\n", `'abc'`},
+		{`s = "a\"b"` + "\n", `"a\"b"`},
+		{"s = '''multi\nline'''\n", "'''multi\nline'''"},
+		{`s = r'\d+'` + "\n", `r'\d+'`},
+		{`s = f"hello {name}"` + "\n", `f"hello {name}"`},
+		{`s = b'bytes'` + "\n", `b'bytes'`},
+		{`s = rb'\x00'` + "\n", `rb'\x00'`},
+	}
+	for _, c := range cases {
+		toks, err := ScanAll("test.py", c.src)
+		if err != nil {
+			t.Errorf("ScanAll(%q): %v", c.src, err)
+			continue
+		}
+		if toks[2].Kind != STRING || toks[2].Lit != c.lit {
+			t.Errorf("src %q: got %v, want STRING(%q)", c.src, toks[2], c.lit)
+		}
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	for _, lit := range []string{
+		"0", "42", "1_000_000", "3.14", "10.", "1e5", "2.5e-3", "0x1F",
+		"0o755", "0b1010", "3j", "2.5J",
+	} {
+		toks, err := ScanAll("test.py", "x = "+lit+"\n")
+		if err != nil {
+			t.Fatalf("ScanAll(%q): %v", lit, err)
+		}
+		if toks[2].Kind != NUMBER || toks[2].Lit != lit {
+			t.Errorf("literal %q: got %v", lit, toks[2])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "a **= b // c << d != e := f -> g ... @ h\n"
+	got := kinds(t, src)
+	want := []Kind{
+		NAME, DOUBLESTAREQ, NAME, DOUBLESLASH, NAME, LSHIFT, NAME, NE,
+		NAME, WALRUS, NAME, ARROW, NAME, ELLIPSIS, AT, NAME, NEWLINE,
+	}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestKeywordsRecognized(t *testing.T) {
+	for word, kind := range keywords {
+		toks, err := ScanAll("test.py", word+"\n")
+		if err != nil {
+			t.Fatalf("ScanAll(%q): %v", word, err)
+		}
+		if toks[0].Kind != kind {
+			t.Errorf("keyword %q: got kind %v, want %v", word, toks[0].Kind, kind)
+		}
+	}
+}
+
+func TestKeywordPrefixIsName(t *testing.T) {
+	// Identifiers that merely start with a keyword must stay NAMEs.
+	for _, w := range []string{"iffy", "format", "classes", "delta", "delete", "inner"} {
+		toks, _ := ScanAll("test.py", w+"\n")
+		if toks[0].Kind != NAME || toks[0].Lit != w {
+			t.Errorf("%q: got %v, want NAME(%q)", w, toks[0], w)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := ScanAll("test.py", "x = 1\ny = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 0}) {
+		t.Errorf("x at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[4].Pos != (Pos{Line: 2, Col: 0}) {
+		t.Errorf("y at %v, want 2:1", toks[4].Pos)
+	}
+	if toks[6].Pos != (Pos{Line: 2, Col: 4}) {
+		t.Errorf("2 at %v, want 2:5", toks[6].Pos)
+	}
+}
+
+func TestTabIndentation(t *testing.T) {
+	src := "if a:\n\tb = 1\n\tc = 2\nd = 3\n"
+	got := kinds(t, src)
+	want := []Kind{
+		KwIf, NAME, COLON, NEWLINE,
+		INDENT, NAME, ASSIGN, NUMBER, NEWLINE,
+		NAME, ASSIGN, NUMBER, NEWLINE,
+		DEDENT, NAME, ASSIGN, NUMBER, NEWLINE,
+	}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnterminatedStringIsError(t *testing.T) {
+	_, err := ScanAll("test.py", "s = 'oops\n")
+	if err == nil {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestBadDedentIsError(t *testing.T) {
+	_, err := ScanAll("test.py", "if a:\n    b\n  c\n")
+	if err == nil {
+		t.Error("expected error for inconsistent dedent")
+	}
+}
+
+func TestUnexpectedCharacterIsError(t *testing.T) {
+	toks, err := ScanAll("test.py", "a ? b\n")
+	if err == nil {
+		t.Error("expected error for '?'")
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected an ILLEGAL token")
+	}
+}
+
+func TestCRLFInput(t *testing.T) {
+	got := kinds(t, "x = 1\r\ny = 2\r\n")
+	want := []Kind{NAME, ASSIGN, NUMBER, NEWLINE, NAME, ASSIGN, NUMBER, NEWLINE}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDecoratorLine(t *testing.T) {
+	src := "@app.route('/x')\ndef f():\n    pass\n"
+	got := kinds(t, src)
+	want := []Kind{
+		AT, NAME, DOT, NAME, LPAREN, STRING, RPAREN, NEWLINE,
+		KwDef, NAME, LPAREN, RPAREN, COLON, NEWLINE,
+		INDENT, KwPass, NEWLINE, DEDENT,
+	}
+	if !kindsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestScanTerminates is a property test: the scanner must reach EOF in a
+// bounded number of steps for arbitrary input, never looping forever.
+func TestScanTerminates(t *testing.T) {
+	f := func(src string) bool {
+		sc := NewScanner("fuzz.py", src)
+		for i := 0; i < 4*len(src)+64; i++ {
+			if sc.Scan().Kind == EOF {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBalancedIndents is a property test: across any input built of valid
+// lines, the number of INDENT tokens equals the number of DEDENT tokens by
+// the time EOF is reached.
+func TestBalancedIndents(t *testing.T) {
+	f := func(depths []uint8) bool {
+		var b strings.Builder
+		for i, d := range depths {
+			b.WriteString(strings.Repeat(" ", int(d%8)))
+			if i%3 == 0 {
+				b.WriteString("if x:\n")
+			} else {
+				b.WriteString("y = 1\n")
+			}
+		}
+		toks, _ := ScanAll("fuzz.py", b.String())
+		bal := 0
+		for _, tok := range toks {
+			switch tok.Kind {
+			case INDENT:
+				bal++
+			case DEDENT:
+				bal--
+			}
+		}
+		return bal == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndWhitespaceOnlyInputs(t *testing.T) {
+	for _, src := range []string{"", "\n", "   \n\t\n", "# just a comment\n"} {
+		toks, err := ScanAll("test.py", src)
+		if err != nil {
+			t.Errorf("ScanAll(%q): %v", src, err)
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Errorf("ScanAll(%q): missing EOF, got %v", src, toks)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"seldon/internal/core"
+	"seldon/internal/corpus"
+	"seldon/internal/dataflow"
+	"seldon/internal/merlin"
+	"seldon/internal/propgraph"
+	"seldon/internal/pyparse"
+)
+
+// MerlinSweepPoint measures Merlin and Seldon on the same application
+// size.
+type MerlinSweepPoint struct {
+	Files          int
+	MerlinFactors  int
+	MerlinTime     time.Duration
+	MerlinTimedOut bool
+	SeldonTime     time.Duration
+}
+
+// MerlinSweep is the anti-Fig.10: Merlin's cost curve versus Seldon's as
+// application size grows, the quantitative version of Table 2's story.
+type MerlinSweep struct {
+	Points    []MerlinSweepPoint
+	Collapsed bool
+}
+
+// RunMerlinSweep grows an application one project at a time and measures
+// both systems. Collapsed selects Merlin's graph granularity.
+func (e *Experiments) RunMerlinSweep(sizes []int, collapsed bool) MerlinSweep {
+	out := MerlinSweep{Collapsed: collapsed}
+	for _, files := range sizes {
+		cfg := e.CorpusCfg
+		cfg.Files = files
+		c := corpus.Generate(cfg)
+		g := unionOfCorpus(c)
+		mg := g
+		if collapsed {
+			mg = g.Collapse()
+		}
+		pt := MerlinSweepPoint{Files: files}
+		res, err := merlin.Infer(mg, e.Seed(), merlin.Options{MaxFactors: MerlinBudget})
+		if err != nil {
+			pt.MerlinTimedOut = true
+			pt.MerlinFactors = MerlinBudget
+		} else {
+			pt.MerlinFactors = res.NumFactors
+			pt.MerlinTime = res.InferenceTime
+		}
+		lcfg := e.LearnCfg
+		lcfg.Constraints.BackoffCutoff = 2
+		pt.SeldonTime = core.Learn(g, e.Seed(), lcfg).InferenceTime
+		out.Points = append(out.Points, pt)
+	}
+	return out
+}
+
+func unionOfCorpus(c *corpus.Corpus) *propgraph.Graph {
+	files := c.FileMap()
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var graphs []*propgraph.Graph
+	for _, n := range names {
+		mod, _ := pyparse.Parse(n, files[n])
+		graphs = append(graphs, dataflow.AnalyzeModule(mod, dataflow.Options{}))
+	}
+	return propgraph.Union(graphs...)
+}
+
+func (m MerlinSweep) Render() string {
+	kind := "uncollapsed"
+	if m.Collapsed {
+		kind = "collapsed"
+	}
+	tb := &table{title: fmt.Sprintf("Merlin scaling sweep (%s graphs) vs Seldon.", kind),
+		cols: []string{"Files", "Merlin factors", "Merlin time", "Seldon time"}}
+	for _, p := range m.Points {
+		mt := fmtDuration(p.MerlinTime)
+		if p.MerlinTimedOut {
+			mt = "> budget (timeout)"
+		}
+		tb.add(strconv.Itoa(p.Files), strconv.Itoa(p.MerlinFactors), mt,
+			fmtDuration(p.SeldonTime))
+	}
+	return tb.String()
+}
+

@@ -1,0 +1,338 @@
+package spec
+
+// SeedText is the paper's initial seed specification (App. B): 106 role
+// entries (28 sources, 30 sanitizers, 48 sinks) plus the blacklist of
+// built-ins and common library patterns.
+const SeedText = `# Sources
+o: User.objects.get()
+o: cms.apps.pages.models.Page.objects.get()
+o: django.core.extensions.get_object_or_404()
+o: django.http.QueryDict()
+o: django.shortcuts.get_object_or_404()
+o: example.util.models.Link.objects.get()
+o: flask.request.form.get()
+o: inviteme.forms.ContactMailForm()
+o: live_support.forms.ChatMessageForm()
+o: model_class.objects.get()
+o: req.form.get()
+o: request.GET.copy()
+o: request.GET.get()
+o: request.POST.copy()
+o: request.POST.get()
+o: request.args.get()
+o: request.form.get()
+o: request.pages.get()
+o: self.get_query_string()
+o: self.get_user_or_404()
+o: self.queryset().get()
+o: self.request.FILES.get()
+o: self.request.get()
+o: self.request.headers.get()
+o: textpress.models.Page.objects.get()
+o: textpress.models.Tag.objects.get()
+o: textpress.models.User()
+o: textpress.models.User.objects.get()
+
+# SQL injection
+i: MySQLdb.connect().cursor().execute()
+i: MySQLdb.connect().execute()
+a: MySQLdb.connect().cursor().mogrify()
+a: MySQLdb.escape_string()
+i: pymysql.connect().cursor().execute()
+i: pymysql.connect().execute()
+a: pymysql.connect().cursor().mogrify()
+a: pymysql.escape_string()
+i: pyPgSQL.connect().cursor().execute()
+i: pyPgSQL.connect().execute()
+a: pyPgSQL.connect().cursor().mogrify()
+a: pyPgSQL.escape_string()
+i: psycopg2.connect().cursor().execute()
+i: psycopg2.connect().execute()
+a: psycopg2.connect().cursor().mogrify()
+a: psycopg2.escape_string()
+i: sqlite3.connect().cursor().execute()
+i: sqlite3.connect().execute()
+a: sqlite3.connect().cursor().mogrify()
+a: sqlite3.escape_string()
+i: flask.SQLAlchemy().session.execute()
+i: SQLAlchemy().session.execute()
+i: db.session().execute()
+i: flask.SQLAlchemy().engine.execute()
+i: SQLAlchemy().engine.execute()
+i: db.engine.execute()
+i: django.db.models.Model::objects.raw()
+i: django.db.models.expressions.RawSQL()
+i: django.db.connection.cursor().execute()
+
+# XPath Injection
+i: lxml.html.fromstring().xpath()
+i: lxml.etree.fromstring().xpath()
+i: lxml.etree.HTML().xpath()
+
+# OS Command Injection
+i: subprocess.call()
+i: subprocess.check_call()
+i: subprocess.check_output()
+i: os.system()
+i: os.spawn()
+i: os.popen()
+a: subprocess.Popen()
+
+# XXE
+i: lxml.etree.to_string()
+
+# XSS
+i: amo.utils.send_mail_jinja()
+i: django.utils.html.mark_safe()
+i: django.utils.safestring.mark_safe()
+i: example.util.response.Response()
+i: jinja2.Markup()
+i: olympia.amo.utils.send_mail_jinja()
+i: suds.sax.text.Raw()
+i: swift.common.swob.Response()
+i: webob.Response()
+i: wtforms.widgets.HTMLString()
+i: wtforms.widgets.core.HTMLString()
+i: flask.Response()
+i: flask.make_response()
+i: flask.render_template_string()
+a: bleach.clean()
+a: cgi.escape()
+a: django.forms.util.flatatt()
+a: django.template.defaultfilters.escape()
+a: django.utils.html.escape()
+a: flask.escape()
+a: jinja2.escape()
+a: textpress.utils.escape()
+a: werkzeug.escape()
+a: werkzeug.html.input()
+a: xml.sax.saxutils.escape()
+a: flask.render_template()
+a: django.shortcuts.render()
+a: django.shortcuts.render_to_response()
+a: django.template.Template().render()
+a: django.template.loader.get_template().render()
+a: werkzeug.exceptions.BadRequest()
+
+# Path Traversal
+i: flask.send_from_directory()
+i: flask.send_file()
+a: os.path.basename()
+a: werkzeug.utils.secure_filename()
+
+# Open Redirect
+i: flask.redirect()
+i: django.shortcuts.redirect()
+i: django.http.HttpResponseRedirect()
+
+# Black list
+# Imports and related functions.
+b: *tensorflow*
+b: *tf*
+b: *numpy*
+b: *pandas*
+b: np.*
+b: plt.*
+b: pyplot.*
+b: os.path.*
+b: uuid.*
+b: sys.*
+b: json.*
+b: datetime.*
+b: io.*
+b: re.*
+b: hashlib.*
+b: struct.*
+b: *String*
+b: *Queue*
+b: threading*
+b: mutex*
+b: dummy_threading*
+b: *module*
+b: math.*
+
+# Flask
+b: flask.Flask()*
+b: app.*
+
+# Django
+b: *django*conf*
+b: *django*settings*
+b: *ugettext*
+b: *lazy*
+b: *RequestContext*
+
+# Logs
+b: *logging*
+b: *logger*
+b: tempfile.mkdtemp()
+b: type().__name__
+b: set_size(param n)
+b: result.append()
+b: str().encode()
+b: ValueError()
+b: logging.info()
+b: key.split()
+b: json.dump()
+
+# Python built-ins.
+b: False
+b: None
+b: True
+b: *_()*
+b: __import__()
+b: *__name__*
+b: *_str()*
+b: *_unicode()*
+b: abs()
+b: *.all()
+b: *.any()
+b: *.append()
+b: ascii()
+b: *assert*
+b: attr()
+b: bin()
+b: bool()
+b: builtins.str()
+b: bytearray()
+b: bytes()
+b: *.capitalize()
+b: *.center()
+b: chr()
+b: classmethod()
+b: cmp()
+b: complex()
+b: *.copy()
+b: *.count()
+b: *.decode()
+b: dict()
+b: *.difference()
+b: *.difference_update()
+b: dir()
+b: *.encode()
+b: *.endswith()
+b: enumerate()
+b: *.extend()
+b: *.filter()
+b: *.find()
+b: *.findall()
+b: *.finditer()
+b: float()
+b: *.format()
+b: frozenset()
+b: func()
+b: future.builtins.str()
+b: getattr()
+b: globals()
+b: hasattr()
+b: hash()
+b: help()
+b: hex()
+b: id()
+b: *.index()
+b: *.insert()
+b: int()
+b: *.intersection()
+b: *.intersection_update()
+b: *.isalnum()
+b: *.isalpha()
+b: *.isdecimal()
+b: *.isdigit()
+b: *.isdisjoint()
+b: *.isidentifier()
+b: *.isinstance()
+b: *.islower()
+b: *.isnumeric()
+b: *.isprintable()
+b: *.isspace()
+b: *.issubclass()
+b: *.issubset()
+b: *.issuperset()
+b: *.istitle()
+b: *.isupper()
+b: *.keys()
+b: kwargs
+b: *len()
+b: list()
+b: *.ljust()
+b: locals()
+b: *.lower()
+b: *.lstrip()
+b: *.maketrans()
+b: *.map()
+b: *.match()
+b: *.match.group()
+b: max()
+b: meth()
+b: min()
+b: next()
+b: object()
+b: oct()
+b: open()
+b: ord()
+b: *.pop()
+b: *.popitem()
+b: pow()
+b: print()
+b: *.purge()
+b: *.quote()
+b: *.quoted_url()
+b: range()
+b: reduce()
+b: *.reload()
+b: *.remove()
+b: *.replace()*
+b: *.repr()
+b: *.reverse()
+b: reversed()
+b: *.rfind()
+b: *.rindex()
+b: *.rjust()
+b: round()
+b: *.rpartition()
+b: *.rsplit()
+b: *.rstrip()
+b: *.search()
+b: set()
+b: setattr()
+b: *.setdefault()
+b: *.sort()
+b: sorted()
+b: *.split()*
+b: *.splitlines()
+b: *.startswith()
+b: *.staticmethod()
+b: str
+b: str()
+b: *.strip()
+b: strip_date.strftime()
+b: *.sub()
+b: *.subn()
+b: sum()
+b: super()
+b: *.symmetric_difference()
+b: *.symmetric_difference_update()
+b: *test*
+b: *.translate()
+b: *.trim_url()
+b: *.truncate()
+b: tuple()
+b: *.type()
+b: unichr()
+b: unicode()
+b: unknown()
+b: *.update()
+b: *.upper()
+b: *.values()
+b: *.vars()
+b: zip()
+`
+
+// Seed parses and returns the paper's App. B seed specification.
+func Seed() *Spec {
+	s, err := Parse(SeedText)
+	if err != nil {
+		panic("spec: embedded seed is malformed: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+package taint
+
+import (
+	"testing"
+
+	"seldon/internal/dataflow"
+	"seldon/internal/propgraph"
+	"seldon/internal/spec"
+)
+
+const figure2 = `from yak.web import app
+from flask import request
+from werkzeug import secure_filename
+import os
+
+blog_dir = app.config['PATH']
+
+@app.route('/media/', methods=['POST'])
+def media():
+    filename = request.files['f'].filename
+    filename = secure_filename(filename)
+    path = os.path.join(blog_dir, filename)
+    if not os.path.exists(path):
+        request.files['f'].save(path)
+`
+
+const figure2Unsanitized = `from flask import request
+import os
+
+@app.route('/media/', methods=['POST'])
+def media():
+    filename = request.files['f'].filename
+    path = os.path.join('/srv', filename)
+    request.files['f'].save(path)
+`
+
+func figSpec() *spec.Spec {
+	s := spec.New()
+	s.Add(propgraph.Source, "flask.request.files['f'].filename")
+	s.Add(propgraph.Sanitizer, "werkzeug.secure_filename()")
+	s.Add(propgraph.Sink, "flask.request.files['f'].save()")
+	return s
+}
+
+func TestSanitizedFlowNotReported(t *testing.T) {
+	g, err := dataflow.AnalyzeSource("app.py", figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Analyze(g, figSpec())
+	if len(reports) != 0 {
+		t.Errorf("sanitized flow reported: %v", reports)
+	}
+}
+
+func TestUnsanitizedFlowReported(t *testing.T) {
+	g, err := dataflow.AnalyzeSource("app.py", figure2Unsanitized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Analyze(g, figSpec())
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1: %v", len(reports), reports)
+	}
+	r := reports[0]
+	if r.SourceRep != "flask.request.files['f'].filename" {
+		t.Errorf("source = %q", r.SourceRep)
+	}
+	if r.SinkRep != "flask.request.files['f'].save()" {
+		t.Errorf("sink = %q", r.SinkRep)
+	}
+	if r.Category != PathTraversal {
+		t.Errorf("category = %q, want path-traversal", r.Category)
+	}
+	if len(r.Path) < 2 || r.Path[0] != r.SourceID || r.Path[len(r.Path)-1] != r.SinkID {
+		t.Errorf("witness path = %v", r.Path)
+	}
+}
+
+func TestPartialSanitizationStillReported(t *testing.T) {
+	// Only one of two paths is sanitized: the unsanitized one must be
+	// found (the analyzer checks per path, unlike learning's Fig. 4c
+	// which requires only one sanitized path).
+	src := `from flask import request
+from werkzeug import secure_filename
+
+def f():
+    name = request.files['f'].filename
+    clean = secure_filename(name)
+    request.files['f'].save(name)
+`
+	g, err := dataflow.AnalyzeSource("app.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Analyze(g, figSpec())
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+}
+
+func TestRoleFromBackoffRep(t *testing.T) {
+	// The spec names only the suffix representation; the event still
+	// takes the role via its backoff options.
+	s := spec.New()
+	s.Add(propgraph.Source, "request.files['f'].filename")
+	s.Add(propgraph.Sink, "request.files['f'].save()")
+	g, err := dataflow.AnalyzeSource("app.py", figure2Unsanitized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Analyze(g, s)
+	if len(reports) != 1 {
+		t.Fatalf("reports via backoff reps = %d, want 1", len(reports))
+	}
+}
+
+func TestBlacklistSuppressesRole(t *testing.T) {
+	s := figSpec()
+	s.AddBlacklist("flask.request.files['f'].filename")
+	s.AddBlacklist("request.files['f'].filename")
+	s.AddBlacklist("files['f'].filename")
+	g, err := dataflow.AnalyzeSource("app.py", figure2Unsanitized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports := Analyze(g, s); len(reports) != 0 {
+		t.Errorf("blacklisted source still reported: %v", reports)
+	}
+}
+
+func TestKindRestrictions(t *testing.T) {
+	// A read event whose rep is (wrongly) listed as a sink must not act
+	// as one — reads are source-only.
+	src := `from flask import request
+
+def f():
+    x = request.args.get('q')
+    y = x.data
+`
+	g, err := dataflow.AnalyzeSource("app.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.New()
+	s.Add(propgraph.Source, "flask.request.args.get()")
+	s.Add(propgraph.Sink, "flask.request.args.get().data") // a read event
+	if reports := Analyze(g, s); len(reports) != 0 {
+		t.Errorf("read event acted as sink: %v", reports)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]Category{
+		"MySQLdb.connect().cursor().execute()": SQLInjection,
+		"os.system()":                          CommandInjection,
+		"subprocess.call()":                    CommandInjection,
+		"flask.render_template_string()":       XSS,
+		"flask.Response()":                     XSS,
+		"flask.send_file()":                    PathTraversal,
+		"flask.redirect()":                     OpenRedirect,
+		"builtins.eval()":                      CodeInjection,
+		"mystery.thing()":                      GenericFlow,
+	}
+	for rep, want := range cases {
+		if got := Classify(rep); got != want {
+			t.Errorf("Classify(%q) = %q, want %q", rep, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reports := []Report{
+		{File: "a.py", Category: XSS},
+		{File: "a.py", Category: SQLInjection},
+		{File: "b.py", Category: XSS},
+	}
+	s := Summarize(reports)
+	if s.Total != 3 || s.Files != 2 || s.ByCategory[XSS] != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestMultipleSinksFromOneSource(t *testing.T) {
+	src := `from flask import request
+import os
+
+def f():
+    q = request.args.get('cmd')
+    os.system(q)
+    db_execute(q)
+`
+	g, err := dataflow.AnalyzeSource("app.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.New()
+	s.Add(propgraph.Source, "flask.request.args.get()")
+	s.Add(propgraph.Sink, "os.system()")
+	s.Add(propgraph.Sink, "db_execute()")
+	reports := Analyze(g, s)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	// Deterministic order: by file, then source, then sink ID.
+	if reports[0].SinkID > reports[1].SinkID {
+		t.Error("reports not sorted")
+	}
+}
