@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages with concurrency-sensitive surfaces: the
+# metrics registry and the solver telemetry hook.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/lp/...
+
+# verify = tier-1 (build + full tests) plus vet and the race checks.
+verify: vet race build test
+	@echo "verify OK"
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -7,6 +7,13 @@
 //
 //	seldon -dir path/to/python/repo [-seedfile seed.spec] [-threshold 0.1]
 //	seldon -generate 400           # run on a synthetic corpus instead
+//
+// Observability:
+//
+//	seldon -generate 400 -v                      # per-stage log on stderr
+//	seldon -generate 400 -metrics-json m.json    # metrics snapshot at exit
+//	seldon -generate 400 -http :8080             # /metrics + /debug/pprof
+//	seldon -generate 400 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -16,9 +23,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"seldon/internal/core"
 	"seldon/internal/corpus"
+	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/spec"
 )
@@ -33,30 +42,89 @@ func main() {
 		cval      = flag.Float64("c", 0.75, "implication-strength constant C")
 		limit     = flag.Int("top", 50, "print at most this many inferred specs per role")
 		out       = flag.String("out", "", "write the merged (seed + learned) specification to this file, for taintcheck -spec")
+
+		verbose     = flag.Bool("v", false, "log pipeline stages and parse errors to stderr")
+		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
+		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof/ on this address during the run (e.g. :8080)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	files, seedSpec, err := loadInput(*dir, *generate, *seedFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "seldon:", err)
-		os.Exit(1)
+	var logger *obs.Logger
+	if *verbose {
+		logger = obs.NewLogger(os.Stderr)
+	}
+	var reg *obs.Registry
+	if *metricsJSON != "" || *httpAddr != "" {
+		reg = obs.New()
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Log("http.listen", "addr", srv.Addr)
+	}
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		stopCPU = stop
+	}
+	if *metricsJSON != "" {
+		// Fail fast on an unwritable path rather than after the run.
+		if err := reg.WriteJSON(*metricsJSON); err != nil {
+			fatal(err)
+		}
 	}
 
-	cfg := core.Config{Threshold: *threshold}
+	files, seedSpec, err := loadInput(*dir, *generate, *seedFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{Threshold: *threshold, Metrics: reg, Log: logger}
 	cfg.Constraints.Lambda = *lambda
 	cfg.Constraints.C = *cval
 	res := core.LearnFromSources(files, seedSpec, cfg)
 
 	st := res.Graph.ComputeStats()
-	fmt.Printf("analyzed %d files: %d events, %d candidate events, %d constraints, solved in %s\n",
-		len(files), st.Events, len(res.System.EventInfos),
-		len(res.System.Problem.Constraints), res.InferenceTime.Round(1e6))
+	errNote := ""
+	switch res.ParseErrors {
+	case 0:
+	case 1:
+		errNote = " (1 parse error)"
+	default:
+		errNote = fmt.Sprintf(" (%d parse errors)", res.ParseErrors)
+	}
+	fmt.Printf("analyzed %d files%s: %d events, %d candidate events, %d constraints, solved in %s (%d epochs)\n",
+		len(files), errNote, st.Events, len(res.System.EventInfos),
+		len(res.System.Problem.Constraints), res.InferenceTime.Round(time.Millisecond),
+		res.SolverEpochs)
+	fmt.Print(stageBreakdown(res))
+
+	if err := stopCPU(); err != nil {
+		fatal(err)
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsJSON != "" {
+		if err := reg.WriteJSON(*metricsJSON); err != nil {
+			fatal(err)
+		}
+		logger.Log("metrics.written", "path", *metricsJSON)
+	}
 
 	if *out != "" {
 		merged := res.LearnedSpec(seedSpec)
 		if err := os.WriteFile(*out, []byte(merged.Format()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "seldon:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %d specification entries to %s\n", merged.Len(), *out)
 	}
@@ -76,6 +144,33 @@ func main() {
 			fmt.Println("  (none)")
 		}
 	}
+}
+
+// stageBreakdown formats the per-stage timing line: each recorded stage
+// with its share of the total pipeline wall time.
+func stageBreakdown(res *core.Result) string {
+	var total time.Duration
+	for _, st := range res.Stages {
+		total += st.Duration
+	}
+	var b strings.Builder
+	b.WriteString("stage timings:\n")
+	for _, st := range res.Stages {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.Duration) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-18s %10s  %5.1f%%\n",
+			strings.TrimPrefix(st.Name, "stage."),
+			st.Duration.Round(time.Microsecond), pct)
+	}
+	fmt.Fprintf(&b, "  %-18s %10s\n", "total", total.Round(time.Microsecond))
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seldon:", err)
+	os.Exit(1)
 }
 
 // loadInput assembles the file map and seed specification.

@@ -5,6 +5,10 @@
 //
 //	taintcheck -spec learned.spec file1.py file2.py ...
 //	taintcheck -dir path/to/repo        # uses the App. B seed by default
+//
+// Observability: -v additionally logs per-stage timings to stderr, and
+// -metrics-json / -http / -cpuprofile / -memprofile mirror the seldon
+// command's operator surface.
 package main
 
 import (
@@ -15,8 +19,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"seldon/internal/dataflow"
+	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/pyparse"
 	"seldon/internal/spec"
@@ -27,10 +33,45 @@ func main() {
 	var (
 		dir      = flag.String("dir", "", "directory to scan for .py files")
 		specFile = flag.String("spec", "", "specification file (o:/a:/i:/b: lines); default: the paper's App. B seed")
-		verbose  = flag.Bool("v", false, "print witness flow traces")
+		verbose  = flag.Bool("v", false, "print witness flow traces and log stages to stderr")
 		dedupe   = flag.Bool("dedupe", false, "collapse reports sharing (source, sink) representations")
+
+		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
+		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof/ on this address during the run (e.g. :8080)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	var logger *obs.Logger
+	if *verbose {
+		logger = obs.NewLogger(os.Stderr)
+	}
+	var reg *obs.Registry
+	if *metricsJSON != "" || *httpAddr != "" {
+		reg = obs.New()
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Log("http.listen", "addr", srv.Addr)
+	}
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		stopCPU = stop
+	}
+	if *metricsJSON != "" {
+		// Fail fast on an unwritable path rather than after the run.
+		if err := reg.WriteJSON(*metricsJSON); err != nil {
+			fatal(err)
+		}
+	}
 
 	sp := spec.Seed()
 	if *specFile != "" {
@@ -62,21 +103,52 @@ func main() {
 	}
 	sort.Strings(paths)
 
+	reg.Add(obs.CounterParseErrors, 0)
+	dopts := dataflow.Options{Metrics: reg}
 	var graphs []*propgraph.Graph
+	var parseTotal, analyzeTotal time.Duration
+	parseErrors := 0
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
+		t0 := time.Now()
 		mod, perr := pyparse.Parse(path, string(data))
+		pd := time.Since(t0)
+		parseTotal += pd
+		reg.ObserveDuration(obs.FileParse, pd)
 		if perr != nil {
+			parseErrors++
+			reg.Add(obs.CounterParseErrors, 1)
 			fmt.Fprintf(os.Stderr, "taintcheck: %v (continuing with recovered AST)\n", perr)
 		}
-		graphs = append(graphs, dataflow.AnalyzeModule(mod, dataflow.Options{}))
+		t0 = time.Now()
+		g := dataflow.AnalyzeModule(mod, dopts)
+		ad := time.Since(t0)
+		analyzeTotal += ad
+		reg.ObserveDuration(obs.FileAnalyze, ad)
+		graphs = append(graphs, g)
 	}
+	reg.Add(obs.CounterFilesAnalyzed, int64(len(paths)))
+	reg.ObserveDuration(obs.StageParse, parseTotal)
+	reg.ObserveDuration(obs.StageDataflow, analyzeTotal)
+	logger.Log(obs.StageParse, "files", len(paths),
+		"dur", parseTotal.Round(time.Microsecond), "errors", parseErrors)
+	logger.Log(obs.StageDataflow, "dur", analyzeTotal.Round(time.Microsecond))
 
+	t0 := time.Now()
 	union := propgraph.Union(graphs...)
+	unionD := time.Since(t0)
+	reg.ObserveDuration(obs.StageUnion, unionD)
+	logger.Log(obs.StageUnion, "dur", unionD.Round(time.Microsecond))
+
+	t0 = time.Now()
 	reports := taint.Analyze(union, sp)
+	taintD := time.Since(t0)
+	reg.ObserveDuration("stage.taint", taintD)
+	logger.Log("stage.taint", "dur", taintD.Round(time.Microsecond), "reports", len(reports))
+
 	if *dedupe {
 		reports = taint.Dedupe(reports)
 	}
@@ -89,6 +161,7 @@ func main() {
 		}
 	}
 	s := taint.Summarize(reports)
+	reg.Add("taint.reports", int64(s.Total))
 	fmt.Printf("\n%d reports in %d files\n", s.Total, s.Files)
 	cats := make([]string, 0, len(s.ByCategory))
 	for c := range s.ByCategory {
@@ -98,6 +171,22 @@ func main() {
 	for _, c := range cats {
 		fmt.Printf("  %-20s %d\n", c, s.ByCategory[taint.Category(c)])
 	}
+
+	if err := stopCPU(); err != nil {
+		fatal(err)
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsJSON != "" {
+		if err := reg.WriteJSON(*metricsJSON); err != nil {
+			fatal(err)
+		}
+		logger.Log("metrics.written", "path", *metricsJSON)
+	}
+
 	if s.Total > 0 {
 		os.Exit(1)
 	}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"seldon/internal/lp"
+	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/spec"
 )
@@ -26,6 +27,9 @@ type Options struct {
 	// components larger than this bound (guards against pathological
 	// generated files). Default 50000.
 	MaxComponent int
+	// Metrics, when non-nil, receives constraint-system size gauges
+	// (variables, events, per-pattern constraint counts).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -174,6 +178,16 @@ func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 
 	// Pass 4: flow constraints per weakly connected component.
 	s.buildFlowConstraints(g)
+
+	m := opts.Metrics
+	m.Set("constraints.vars", float64(len(s.Vars)))
+	m.Set("constraints.known_vars", float64(len(known)))
+	m.Set("constraints.events", float64(len(s.EventInfos)))
+	m.Set("constraints.total", float64(len(s.Problem.Constraints)))
+	m.Set("constraints.pattern_a", float64(s.CountA))
+	m.Set("constraints.pattern_b", float64(s.CountB))
+	m.Set("constraints.pattern_c", float64(s.CountC))
+	m.Set("constraints.skipped_components", float64(s.SkippedComponents))
 	return s
 }
 

@@ -13,6 +13,7 @@ import (
 	"seldon/internal/constraints"
 	"seldon/internal/dataflow"
 	"seldon/internal/lp"
+	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/pyparse"
 	"seldon/internal/spec"
@@ -28,6 +29,12 @@ type Config struct {
 	// BackoffDecay discounts less specific backoff options: option i
 	// (0-based) is selected when decay^i * score >= Threshold (§7.1: 0.8).
 	BackoffDecay float64
+	// Metrics, when non-nil, receives stage timers, per-file timings,
+	// parse-error counters, and the solver convergence trace. Nil keeps
+	// the pipeline on its telemetry-free fast path.
+	Metrics *obs.Registry
+	// Log, when non-nil, receives one structured line per stage.
+	Log *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +57,12 @@ type Prediction struct {
 	Backoff int     // index of the triggering backoff option
 }
 
+// StageTiming records the wall time of one pipeline stage.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Result is the outcome of a learning run.
 type Result struct {
 	Graph         *propgraph.Graph
@@ -57,45 +70,157 @@ type Result struct {
 	Solution      []float64
 	InferenceTime time.Duration
 
+	// Stages lists per-stage wall times in pipeline order (parse,
+	// dataflow, and union appear only for LearnFromSources runs).
+	Stages []StageTiming
+	// SolverEpochs is the number of epochs the solver ran.
+	SolverEpochs int
+	// ParseErrors counts files whose parse reported an error (analysis
+	// still ran over the recovered AST); ParseErrorFiles names them in
+	// sorted order.
+	ParseErrors     int
+	ParseErrorFiles []string
+
 	// Predictions lists every selected (event, role), event-ID order.
 	Predictions []Prediction
 	// EventRoles aggregates predictions per event.
 	EventRoles map[int]propgraph.RoleSet
 }
 
+// StageTime returns the recorded duration of a named stage, or 0.
+func (r *Result) StageTime(name string) time.Duration {
+	for _, st := range r.Stages {
+		if st.Name == name {
+			return st.Duration
+		}
+	}
+	return 0
+}
+
+// runStage times f and records the result in Result.Stages, the metrics
+// registry, and the stage log.
+func (r *Result) runStage(cfg Config, name string, f func()) {
+	t0 := time.Now()
+	f()
+	d := time.Since(t0)
+	r.Stages = append(r.Stages, StageTiming{Name: name, Duration: d})
+	cfg.Metrics.ObserveDuration(name, d)
+	cfg.Log.Log(name, "dur", d.Round(time.Microsecond))
+}
+
 // Learn runs specification inference over a global propagation graph.
 func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	sys := constraints.Build(g, seed, cfg.Constraints)
-	sol := lp.Minimize(sys.Problem, cfg.Solver)
 	res := &Result{
-		Graph:         g,
-		System:        sys,
-		Solution:      sol.X,
-		EventRoles:    make(map[int]propgraph.RoleSet),
-		InferenceTime: time.Since(start),
+		Graph:      g,
+		EventRoles: make(map[int]propgraph.RoleSet),
 	}
-	res.selectRoles(cfg)
+
+	copts := cfg.Constraints
+	copts.Metrics = cfg.Metrics
+	res.runStage(cfg, obs.StageConstraints, func() {
+		res.System = constraints.Build(g, seed, copts)
+	})
+
+	solverOpts := cfg.Solver
+	if cfg.Metrics != nil {
+		user := solverOpts.OnEpoch
+		reg := cfg.Metrics
+		solverOpts.OnEpoch = func(s lp.EpochStats) {
+			reg.AppendTrace(obs.TraceSolver, int64(s.Epoch), map[string]float64{
+				"objective": s.Objective,
+				"best":      s.Best,
+				"violation": s.Violation,
+				"l1":        s.L1,
+				"grad_norm": s.GradNorm,
+				"step_size": s.StepSize,
+				"elapsed_s": s.Elapsed.Seconds(),
+			})
+			if user != nil {
+				user(s)
+			}
+		}
+	}
+	var sol *lp.Result
+	res.runStage(cfg, obs.StageSolve, func() {
+		sol = lp.Minimize(res.System.Problem, solverOpts)
+	})
+	res.Solution = sol.X
+	res.SolverEpochs = sol.Iterations
+	cfg.Metrics.Set("solver.epochs", float64(sol.Iterations))
+	cfg.Metrics.Set("solver.objective", sol.Objective)
+	cfg.Metrics.Set("solver.violation", sol.Violation)
+	cfg.Log.Log("solver.done", "epochs", sol.Iterations,
+		"objective", sol.Objective, "violation", sol.Violation)
+
+	res.runStage(cfg, obs.StageSelect, func() {
+		res.selectRoles(cfg)
+	})
+	cfg.Metrics.Set("select.predictions", float64(len(res.Predictions)))
+	res.InferenceTime = time.Since(start)
 	return res
 }
 
 // LearnFromSources parses and analyzes a set of Python files (name →
 // source text) and learns over their union graph. File order is made
-// deterministic by sorting names. Parse errors are tolerated: files
-// contribute whatever was recovered.
+// deterministic by sorting names. Parse errors are tolerated — files
+// contribute whatever was recovered — but they are no longer silent:
+// they are counted in Result.ParseErrors (and Config.Metrics), listed
+// in Result.ParseErrorFiles, and logged through Config.Log.
 func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Result {
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+
+	cfg.Metrics.Add(obs.CounterParseErrors, 0) // materialize the counter
+	dopts := dataflow.Options{Metrics: cfg.Metrics}
+	var parseErrs []string
+	var parseTotal, analyzeTotal time.Duration
 	graphs := make([]*propgraph.Graph, 0, len(names))
 	for _, n := range names {
-		mod, _ := pyparse.Parse(n, files[n])
-		graphs = append(graphs, dataflow.AnalyzeModule(mod, dataflow.Options{}))
+		t0 := time.Now()
+		mod, err := pyparse.Parse(n, files[n])
+		pd := time.Since(t0)
+		parseTotal += pd
+		cfg.Metrics.ObserveDuration(obs.FileParse, pd)
+		if err != nil {
+			parseErrs = append(parseErrs, n)
+			cfg.Metrics.Add(obs.CounterParseErrors, 1)
+			cfg.Log.Log("parse.error", "file", n, "err", err)
+		}
+		t0 = time.Now()
+		g := dataflow.AnalyzeModule(mod, dopts)
+		ad := time.Since(t0)
+		analyzeTotal += ad
+		cfg.Metrics.ObserveDuration(obs.FileAnalyze, ad)
+		graphs = append(graphs, g)
 	}
-	return Learn(propgraph.Union(graphs...), seed, cfg)
+	cfg.Metrics.Add(obs.CounterFilesAnalyzed, int64(len(names)))
+	cfg.Metrics.ObserveDuration(obs.StageParse, parseTotal)
+	cfg.Metrics.ObserveDuration(obs.StageDataflow, analyzeTotal)
+	cfg.Log.Log(obs.StageParse, "files", len(names),
+		"dur", parseTotal.Round(time.Microsecond), "errors", len(parseErrs))
+	cfg.Log.Log(obs.StageDataflow, "dur", analyzeTotal.Round(time.Microsecond))
+
+	pre := []StageTiming{
+		{Name: obs.StageParse, Duration: parseTotal},
+		{Name: obs.StageDataflow, Duration: analyzeTotal},
+	}
+	t0 := time.Now()
+	union := propgraph.Union(graphs...)
+	unionD := time.Since(t0)
+	cfg.Metrics.ObserveDuration(obs.StageUnion, unionD)
+	cfg.Log.Log(obs.StageUnion, "dur", unionD.Round(time.Microsecond))
+	pre = append(pre, StageTiming{Name: obs.StageUnion, Duration: unionD})
+
+	res := Learn(union, seed, cfg)
+	res.Stages = append(pre, res.Stages...)
+	res.ParseErrors = len(parseErrs)
+	res.ParseErrorFiles = parseErrs
+	return res
 }
 
 // ScoreOf returns the solver score for (rep, role), or 0 when the

@@ -3,6 +3,7 @@ package dataflow
 import (
 	"strings"
 
+	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/pyast"
 	"seldon/internal/pyparse"
@@ -17,6 +18,9 @@ type Options struct {
 	// FieldDepth bounds how deep field maps are traversed when
 	// collecting the events carried by an abstract value. Default 3.
 	FieldDepth int
+	// Metrics, when non-nil, receives per-module analysis counters
+	// (modules, functions, graph events).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +55,9 @@ func AnalyzeModule(mod *pyast.Module, opts Options) *propgraph.Graph {
 	for _, fd := range a.order {
 		a.ensureAnalyzed(fd)
 	}
+	a.opts.Metrics.Add("dataflow.modules", 1)
+	a.opts.Metrics.Add("dataflow.functions", int64(len(a.order)))
+	a.opts.Metrics.Add("dataflow.events", int64(len(a.g.Events)))
 	return a.g
 }
 

@@ -84,6 +84,11 @@ type Options struct {
 	Beta2      float64 // default 0.999
 	Eps        float64 // default 1e-8
 	Tolerance  float64 // stop when objective improves less than this; default 1e-6
+	// OnEpoch, when non-nil, is invoked after every epoch with that
+	// epoch's convergence statistics (objective, hinge violation, L1
+	// term, gradient norm, step size, wall time). Leaving it nil keeps
+	// the solver on its telemetry-free fast path.
+	OnEpoch func(EpochStats)
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +151,7 @@ func Minimize(p *Problem, opts Options) *Result {
 	bestObj := p.Objective(x)
 	prevObj := math.Inf(1)
 	iters := 0
+	tel := newEpochTelemetry(opts, x)
 
 	for t := 1; t <= opts.Iterations; t++ {
 		iters = t
@@ -195,6 +201,7 @@ func Minimize(p *Problem, opts Options) *Result {
 			bestObj = obj
 			copy(best, x)
 		}
+		tel.emit(p, t, x, grad, free, obj, bestObj)
 		if math.Abs(prevObj-obj) < opts.Tolerance {
 			break
 		}

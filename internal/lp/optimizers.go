@@ -56,6 +56,7 @@ func MinimizeWith(p *Problem, opts Options, method Method) *Result {
 	bestObj := p.Objective(x)
 	prevObj := math.Inf(1)
 	iters := 0
+	tel := newEpochTelemetry(opts, x)
 
 	for t := 1; t <= opts.Iterations; t++ {
 		iters = t
@@ -103,6 +104,7 @@ func MinimizeWith(p *Problem, opts Options, method Method) *Result {
 			bestObj = obj
 			copy(best, x)
 		}
+		tel.emit(p, t, x, grad, free, obj, bestObj)
 		if math.Abs(prevObj-obj) < opts.Tolerance {
 			break
 		}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The nil-registry path is the one every pipeline stage pays when no
+// sink is attached; it must stay within noise of free.
+
+func BenchmarkSpanNilRegistry(b *testing.B) {
+	var r *Registry
+	for i := 0; i < b.N; i++ {
+		r.Start("stage.solve").End()
+	}
+}
+
+func BenchmarkSpanLiveRegistry(b *testing.B) {
+	r := New()
+	for i := 0; i < b.N; i++ {
+		r.Start("stage.solve").End()
+	}
+}
+
+func BenchmarkObserveNilRegistry(b *testing.B) {
+	var r *Registry
+	for i := 0; i < b.N; i++ {
+		r.ObserveDuration("file.parse", time.Microsecond)
+	}
+}
+
+func BenchmarkObserveLiveRegistry(b *testing.B) {
+	r := New()
+	for i := 0; i < b.N; i++ {
+		r.ObserveDuration("file.parse", time.Microsecond)
+	}
+}
+
+func BenchmarkCounterLiveRegistry(b *testing.B) {
+	r := New()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add("ops", 1)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+)
+
+// Handler serves the registry's JSON snapshot (nil registry → empty
+// snapshot, still valid JSON).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		data, err := r.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+}
+
+// NewServeMux builds the operator mux: /metrics (JSON snapshot),
+// /metrics.txt (plain text), and the standard /debug/pprof/ endpoints.
+func NewServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(r.Snapshot().Text()))
+	})
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves the operator mux in a background
+// goroutine, returning the bound server (Addr is resolved, so ":0"
+// callers can discover the port). The caller may Close it or simply
+// exit; errors after a successful bind are dropped.
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewServeMux(r)}
+	go srv.Serve(ln)
+	return srv, nil
+}

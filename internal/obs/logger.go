@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes structured, stage-oriented progress lines:
+//
+//	[  0.123s] stage.parse files=200 dur=87ms errors=0
+//
+// Keys and values alternate in the kv list; odd trailing values are
+// printed bare. A nil *Logger discards everything.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+}
+
+// NewLogger returns a logger writing to w, timestamped relative to now.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, start: time.Now()}
+}
+
+// Log writes one line for a stage with alternating key/value pairs.
+func (l *Logger) Log(stage string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		if i+1 < len(kv) {
+			fmt.Fprintf(&b, "%v=%v", kv[i], kv[i+1])
+		} else {
+			fmt.Fprintf(&b, "%v", kv[i])
+		}
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "[%8.3fs] %s%s\n", time.Since(l.start).Seconds(), stage, b.String())
+	l.mu.Unlock()
+}

@@ -1,0 +1,301 @@
+// Package obs is the pipeline's observability layer: a lightweight,
+// dependency-free metrics registry (counters, gauges, timers with
+// quantile histograms, and bounded traces), structured stage logging,
+// snapshot export as text and JSON, and HTTP/pprof operator surfaces.
+//
+// Every method on *Registry and *Logger is safe on a nil receiver and
+// returns immediately, so instrumented code needs no guards and pays
+// (almost) nothing when no sink is attached.
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Well-known metric names shared by the pipeline and the commands.
+const (
+	// The six pipeline stage timers (core.Learn / core.LearnFromSources).
+	StageParse       = "stage.parse"       // lex + parse of all files
+	StageDataflow    = "stage.dataflow"    // per-file dataflow analysis
+	StageUnion       = "stage.union"       // propagation-graph union
+	StageConstraints = "stage.constraints" // constraint system build
+	StageSolve       = "stage.solve"       // projected-Adam solve
+	StageSelect      = "stage.select"      // role selection (§7.1 backoff)
+
+	// Per-file timers.
+	FileParse   = "file.parse"
+	FileAnalyze = "file.analyze"
+
+	// Counters.
+	CounterParseErrors   = "parse.errors"
+	CounterFilesAnalyzed = "files.analyzed"
+
+	// The solver convergence trace (one point per epoch).
+	TraceSolver = "solver.convergence"
+)
+
+const (
+	maxTimerSamples = 4096
+	maxTracePoints  = 8192
+)
+
+// Registry is a concurrency-safe in-process metrics sink.
+// The zero value is not usable; call New. A nil *Registry is a valid
+// no-op sink.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	timers   map[string]*timer
+	traces   map[string]*trace
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		timers:   make(map[string]*timer),
+		traces:   make(map[string]*trace),
+	}
+}
+
+// timer accumulates exact count/sum/min/max plus a deterministic
+// stride-decimated sample reservoir for quantile estimates.
+type timer struct {
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+	seen   int64 // observations since stride last doubled
+	stride int64 // record every stride-th observation
+	sample []float64
+}
+
+// trace is a bounded append-only series of labeled points. When full it
+// keeps every other point and doubles the stride, so the retained points
+// stay roughly uniform over the run — deterministically.
+type trace struct {
+	seen   int64
+	stride int64
+	points []TracePoint
+}
+
+// TracePoint is one entry of a trace series.
+type TracePoint struct {
+	Step   int64              `json:"step"`
+	Values map[string]float64 `json:"values"`
+}
+
+// Add increments a counter by delta, creating it at zero first. Calling
+// Add with delta 0 just materializes the counter in snapshots.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set sets a gauge to v.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe records one raw value into the named histogram/timer.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	t := r.timers[name]
+	if t == nil {
+		t = &timer{min: math.Inf(1), max: math.Inf(-1), stride: 1}
+		r.timers[name] = t
+	}
+	t.count++
+	t.sum += v
+	if v < t.min {
+		t.min = v
+	}
+	if v > t.max {
+		t.max = v
+	}
+	if t.seen%t.stride == 0 {
+		t.sample = append(t.sample, v)
+		if len(t.sample) > maxTimerSamples {
+			half := t.sample[:0]
+			for i := 0; i < len(t.sample); i += 2 {
+				half = append(half, t.sample[i])
+			}
+			t.sample = half
+			t.stride *= 2
+			t.seen = 0
+		}
+	}
+	t.seen++
+	r.mu.Unlock()
+}
+
+// ObserveDuration records a duration, in seconds, into the named timer.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Observe(name, d.Seconds())
+}
+
+// AppendTrace appends one point to the named trace series.
+func (r *Registry) AppendTrace(name string, step int64, values map[string]float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	tr := r.traces[name]
+	if tr == nil {
+		tr = &trace{stride: 1}
+		r.traces[name] = tr
+	}
+	if tr.seen%tr.stride == 0 {
+		tr.points = append(tr.points, TracePoint{Step: step, Values: values})
+		if len(tr.points) > maxTracePoints {
+			half := tr.points[:0]
+			for i := 0; i < len(tr.points); i += 2 {
+				half = append(half, tr.points[i])
+			}
+			tr.points = half
+			tr.stride *= 2
+			tr.seen = 0
+		}
+	}
+	tr.seen++
+	r.mu.Unlock()
+}
+
+// Span measures one region of time against a timer metric.
+type Span struct {
+	r    *Registry
+	name string
+	t0   time.Time
+}
+
+// Start opens a span recording into the named timer when ended. On a nil
+// registry it returns an inert span without reading the clock.
+func (r *Registry) Start(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, t0: time.Now()}
+}
+
+// End closes the span and records the elapsed time; it returns the
+// elapsed duration (zero for inert spans).
+func (s Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	s.r.ObserveDuration(s.name, d)
+	return d
+}
+
+// TimerStats summarizes one timer for export.
+type TimerStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+// Snapshot is a point-in-time copy of the registry contents.
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges"`
+	Timers   map[string]TimerStats   `json:"timers"`
+	Traces   map[string][]TracePoint `json:"traces"`
+}
+
+// Snapshot copies out the current registry state. Safe on nil (returns
+// an empty snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Timers:   map[string]TimerStats{},
+		Traces:   map[string][]TracePoint{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, t := range r.timers {
+		s.Timers[k] = t.stats()
+	}
+	for k, tr := range r.traces {
+		pts := make([]TracePoint, len(tr.points))
+		copy(pts, tr.points)
+		s.Traces[k] = pts
+	}
+	return s
+}
+
+func (t *timer) stats() TimerStats {
+	st := TimerStats{Count: t.count, Sum: t.sum, Min: t.min, Max: t.max}
+	if t.count == 0 {
+		st.Min, st.Max = 0, 0
+		return st
+	}
+	sorted := make([]float64, len(t.sample))
+	copy(sorted, t.sample)
+	sort.Float64s(sorted)
+	st.P50 = quantile(sorted, 0.50)
+	st.P95 = quantile(sorted, 0.95)
+	return st
+}
+
+// quantile uses nearest-rank interpolation over a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteJSON writes the current snapshot to path. Safe on nil (writes an
+// empty snapshot).
+func (r *Registry) WriteJSON(path string) error {
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

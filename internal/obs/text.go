@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Text renders the snapshot as sorted, line-oriented plain text, one
+// metric per line — a human-readable dual of JSON for logs and CLIs.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %g\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Timers) {
+		t := s.Timers[k]
+		fmt.Fprintf(&b, "timer %s count=%d sum=%gs min=%gs max=%gs p50=%gs p95=%gs\n",
+			k, t.Count, t.Sum, t.Min, t.Max, t.P50, t.P95)
+	}
+	for _, k := range sortedKeys(s.Traces) {
+		fmt.Fprintf(&b, "trace %s points=%d\n", k, len(s.Traces[k]))
+	}
+	return b.String()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
