@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with concurrency-sensitive surfaces: the
-# metrics registry and the solver telemetry hook.
+# metrics registry, the sharded solver kernel, and the parallel corpus
+# front-end.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/lp/...
+	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/...
 
 # verify = tier-1 (build + full tests) plus vet and the race checks.
 verify: vet race build test
@@ -22,3 +23,8 @@ verify: vet race build test
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# bench-json captures a metrics snapshot (stage-timer p50s, worker gauge,
+# front-end speedup) of a representative parallel run.
+bench-json:
+	$(GO) run ./cmd/seldon -generate 240 -workers 4 -metrics-json BENCH_2.json >/dev/null

@@ -41,6 +41,7 @@ func main() {
 		lambda    = flag.Float64("lambda", 0.1, "L1 regularization weight")
 		cval      = flag.Float64("c", 0.75, "implication-strength constant C")
 		limit     = flag.Int("top", 50, "print at most this many inferred specs per role")
+		workers   = flag.Int("workers", 0, "front-end worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
 		out       = flag.String("out", "", "write the merged (seed + learned) specification to this file, for taintcheck -spec")
 
 		verbose     = flag.Bool("v", false, "log pipeline stages and parse errors to stderr")
@@ -86,7 +87,7 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := core.Config{Threshold: *threshold, Metrics: reg, Log: logger}
+	cfg := core.Config{Threshold: *threshold, Workers: *workers, Metrics: reg, Log: logger}
 	cfg.Constraints.Lambda = *lambda
 	cfg.Constraints.C = *cval
 	res := core.LearnFromSources(files, seedSpec, cfg)
@@ -105,6 +106,12 @@ func main() {
 		len(res.System.Problem.Constraints), res.InferenceTime.Round(time.Millisecond),
 		res.SolverEpochs)
 	fmt.Print(stageBreakdown(res))
+	if res.Workers > 1 && res.FrontendWall > 0 {
+		cpu := res.StageTime(obs.StageParse) + res.StageTime(obs.StageDataflow)
+		fmt.Printf("front-end: %d workers, wall %s, effective speedup %.2fx\n",
+			res.Workers, res.FrontendWall.Round(time.Microsecond),
+			float64(cpu)/float64(res.FrontendWall))
+	}
 
 	if err := stopCPU(); err != nil {
 		fatal(err)

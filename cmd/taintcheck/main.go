@@ -21,10 +21,9 @@ import (
 	"strings"
 	"time"
 
-	"seldon/internal/dataflow"
+	"seldon/internal/core"
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
-	"seldon/internal/pyparse"
 	"seldon/internal/spec"
 	"seldon/internal/taint"
 )
@@ -35,6 +34,7 @@ func main() {
 		specFile = flag.String("spec", "", "specification file (o:/a:/i:/b: lines); default: the paper's App. B seed")
 		verbose  = flag.Bool("v", false, "print witness flow traces and log stages to stderr")
 		dedupe   = flag.Bool("dedupe", false, "collapse reports sharing (source, sink) representations")
+		workers  = flag.Int("workers", 0, "front-end worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
 
 		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
 		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof/ on this address during the run (e.g. :8080)")
@@ -103,42 +103,21 @@ func main() {
 	}
 	sort.Strings(paths)
 
-	reg.Add(obs.CounterParseErrors, 0)
-	dopts := dataflow.Options{Metrics: reg}
-	var graphs []*propgraph.Graph
-	var parseTotal, analyzeTotal time.Duration
-	parseErrors := 0
+	files := make(map[string]string, len(paths))
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
-		t0 := time.Now()
-		mod, perr := pyparse.Parse(path, string(data))
-		pd := time.Since(t0)
-		parseTotal += pd
-		reg.ObserveDuration(obs.FileParse, pd)
-		if perr != nil {
-			parseErrors++
-			reg.Add(obs.CounterParseErrors, 1)
-			fmt.Fprintf(os.Stderr, "taintcheck: %v (continuing with recovered AST)\n", perr)
-		}
-		t0 = time.Now()
-		g := dataflow.AnalyzeModule(mod, dopts)
-		ad := time.Since(t0)
-		analyzeTotal += ad
-		reg.ObserveDuration(obs.FileAnalyze, ad)
-		graphs = append(graphs, g)
+		files[path] = string(data)
 	}
-	reg.Add(obs.CounterFilesAnalyzed, int64(len(paths)))
-	reg.ObserveDuration(obs.StageParse, parseTotal)
-	reg.ObserveDuration(obs.StageDataflow, analyzeTotal)
-	logger.Log(obs.StageParse, "files", len(paths),
-		"dur", parseTotal.Round(time.Microsecond), "errors", parseErrors)
-	logger.Log(obs.StageDataflow, "dur", analyzeTotal.Round(time.Microsecond))
+	fe := core.AnalyzeFiles(files, core.Config{Workers: *workers, Metrics: reg, Log: logger})
+	for _, perr := range fe.ParseErrs {
+		fmt.Fprintf(os.Stderr, "taintcheck: %v (continuing with recovered AST)\n", perr)
+	}
 
 	t0 := time.Now()
-	union := propgraph.Union(graphs...)
+	union := propgraph.Union(fe.Graphs...)
 	unionD := time.Since(t0)
 	reg.ObserveDuration(obs.StageUnion, unionD)
 	logger.Log(obs.StageUnion, "dur", unionD.Round(time.Microsecond))

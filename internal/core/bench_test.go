@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"seldon/internal/corpus"
+)
+
+// BenchmarkLearnFromSources measures the full pipeline over a generated
+// corpus at several front-end worker counts. The solver budget is kept
+// small so the per-file parse+dataflow section — the part Workers
+// parallelizes — dominates the run.
+func BenchmarkLearnFromSources(b *testing.B) {
+	files := corpus.Generate(corpus.Config{Files: 120}).FileMap()
+	seed := corpus.ExperimentSeed()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{Workers: workers}
+			cfg.Solver.Iterations = 20
+			for i := 0; i < b.N; i++ {
+				LearnFromSources(files, seed, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeFiles isolates the parallel front-end (parse + dataflow,
+// no union/solve) for the raw scaling number.
+func BenchmarkAnalyzeFiles(b *testing.B) {
+	files := corpus.Generate(corpus.Config{Files: 120}).FileMap()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				AnalyzeFiles(files, Config{Workers: workers})
+			}
+		})
+	}
+}

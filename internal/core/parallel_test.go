@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"seldon/internal/constraints"
+	"seldon/internal/obs"
+)
+
+// parallelCorpus is tinyCorpus plus a file that fails to parse, so the
+// determinism checks also cover the parse-error path.
+func parallelCorpus() map[string]string {
+	files := tinyCorpus(8)
+	files["broken.py"] = "def broken(:\n    return ???\n"
+	return files
+}
+
+// TestLearnFromSourcesDeterministicAcrossWorkers is the tentpole's
+// determinism guarantee: every observable output of a learning run must be
+// byte-identical at any worker count.
+func TestLearnFromSourcesDeterministicAcrossWorkers(t *testing.T) {
+	files := parallelCorpus()
+	cfg := Config{Constraints: constraints.Options{BackoffCutoff: 2}, Workers: 1}
+	base := LearnFromSources(files, tinySeed(), cfg)
+	if base.Workers != 1 {
+		t.Fatalf("base.Workers = %d, want 1", base.Workers)
+	}
+	var baseGraph bytes.Buffer
+	if err := base.Graph.Encode(&baseGraph); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := cfg
+			cfg.Workers = workers
+			res := LearnFromSources(files, tinySeed(), cfg)
+			if !reflect.DeepEqual(res.Predictions, base.Predictions) {
+				t.Errorf("predictions differ:\n got %+v\nwant %+v", res.Predictions, base.Predictions)
+			}
+			if !reflect.DeepEqual(res.ParseErrorFiles, base.ParseErrorFiles) {
+				t.Errorf("parse-error files = %v, want %v", res.ParseErrorFiles, base.ParseErrorFiles)
+			}
+			if res.ParseErrors != base.ParseErrors {
+				t.Errorf("parse errors = %d, want %d", res.ParseErrors, base.ParseErrors)
+			}
+			if res.SolverEpochs != base.SolverEpochs {
+				t.Errorf("solver epochs = %d, want %d", res.SolverEpochs, base.SolverEpochs)
+			}
+			if len(res.Solution) != len(base.Solution) {
+				t.Fatalf("solution size = %d, want %d", len(res.Solution), len(base.Solution))
+			}
+			for i := range res.Solution {
+				if math.Float64bits(res.Solution[i]) != math.Float64bits(base.Solution[i]) {
+					t.Fatalf("solution[%d] = %v, want %v (bitwise)", i, res.Solution[i], base.Solution[i])
+				}
+			}
+			var g bytes.Buffer
+			if err := res.Graph.Encode(&g); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(g.Bytes(), baseGraph.Bytes()) {
+				t.Error("graph encodings differ")
+			}
+		})
+	}
+}
+
+func TestAnalyzeFilesParallelTelemetry(t *testing.T) {
+	reg := obs.New()
+	fe := AnalyzeFiles(parallelCorpus(), Config{Workers: 4, Metrics: reg})
+	if fe.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", fe.Workers)
+	}
+	if !reflect.DeepEqual(fe.ParseErrorFiles, []string{"broken.py"}) {
+		t.Errorf("parse-error files = %v, want [broken.py]", fe.ParseErrorFiles)
+	}
+	if len(fe.ParseErrs) != 1 || fe.ParseErrs[0] == nil {
+		t.Errorf("parse errs = %v, want one non-nil error", fe.ParseErrs)
+	}
+	if len(fe.Graphs) != len(fe.Names) {
+		t.Fatalf("graphs = %d, names = %d", len(fe.Graphs), len(fe.Names))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.CounterParseErrors]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.CounterParseErrors, got)
+	}
+	if got := snap.Counters[obs.CounterFilesAnalyzed]; got != int64(len(fe.Names)) {
+		t.Errorf("%s = %d, want %d", obs.CounterFilesAnalyzed, got, len(fe.Names))
+	}
+	if got := snap.Gauges[obs.GaugeWorkers]; got != 4 {
+		t.Errorf("%s = %v, want 4", obs.GaugeWorkers, got)
+	}
+	if _, ok := snap.Gauges[obs.GaugeFrontendSpeedup]; !ok {
+		t.Errorf("%s gauge missing", obs.GaugeFrontendSpeedup)
+	}
+	if got := snap.Timers[obs.FileParse].Count; got != int64(len(fe.Names)) {
+		t.Errorf("%s count = %d, want %d", obs.FileParse, got, len(fe.Names))
+	}
+	if got := snap.Timers[obs.StageFrontend].Count; got != 1 {
+		t.Errorf("%s count = %d, want 1", obs.StageFrontend, got)
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	cases := []struct {
+		workers, files, want int
+	}{
+		{1, 10, 1},
+		{4, 10, 4},
+		{8, 3, 3},  // never more workers than files
+		{-1, 0, 1}, // empty input still resolves to a valid pool
+	}
+	for _, tc := range cases {
+		if got := (Config{Workers: tc.workers}).workerCount(tc.files); got != tc.want {
+			t.Errorf("workerCount(workers=%d, files=%d) = %d, want %d",
+				tc.workers, tc.files, got, tc.want)
+		}
+	}
+	if got := (Config{}).workerCount(64); got < 1 {
+		t.Errorf("default workerCount = %d, want >= 1", got)
+	}
+}

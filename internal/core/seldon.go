@@ -11,11 +11,9 @@ import (
 	"time"
 
 	"seldon/internal/constraints"
-	"seldon/internal/dataflow"
 	"seldon/internal/lp"
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
-	"seldon/internal/pyparse"
 	"seldon/internal/spec"
 )
 
@@ -29,6 +27,11 @@ type Config struct {
 	// BackoffDecay discounts less specific backoff options: option i
 	// (0-based) is selected when decay^i * score >= Threshold (§7.1: 0.8).
 	BackoffDecay float64
+	// Workers bounds the goroutines the corpus front-end uses for
+	// per-file parse + dataflow; 0 selects runtime.GOMAXPROCS(0) and 1
+	// keeps the sequential path. Results are byte-identical at every
+	// worker count (see AnalyzeFiles).
+	Workers int
 	// Metrics, when non-nil, receives stage timers, per-file timings,
 	// parse-error counters, and the solver convergence trace. Nil keeps
 	// the pipeline on its telemetry-free fast path.
@@ -80,6 +83,12 @@ type Result struct {
 	// sorted order.
 	ParseErrors     int
 	ParseErrorFiles []string
+	// FrontendWall is the elapsed time of the (possibly parallel)
+	// parse+dataflow section; Workers is the pool size it used. The
+	// parse/dataflow entries of Stages record summed per-file times, so
+	// FrontendWall < parse+dataflow signals effective parallelism.
+	FrontendWall time.Duration
+	Workers      int
 
 	// Predictions lists every selected (event, role), event-ID order.
 	Predictions []Prediction
@@ -163,54 +172,21 @@ func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
 }
 
 // LearnFromSources parses and analyzes a set of Python files (name →
-// source text) and learns over their union graph. File order is made
-// deterministic by sorting names. Parse errors are tolerated — files
-// contribute whatever was recovered — but they are no longer silent:
-// they are counted in Result.ParseErrors (and Config.Metrics), listed
-// in Result.ParseErrorFiles, and logged through Config.Log.
+// source text) and learns over their union graph. Per-file work is fanned
+// out over Config.Workers goroutines (see AnalyzeFiles); file order is
+// made deterministic by sorting names and merging in that order, so the
+// result is byte-identical at every worker count. Parse errors are
+// tolerated — files contribute whatever was recovered — but they are not
+// silent: they are counted in Result.ParseErrors (and Config.Metrics),
+// listed in Result.ParseErrorFiles, and logged through Config.Log.
 func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Result {
-	names := make([]string, 0, len(files))
-	for n := range files {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-
-	cfg.Metrics.Add(obs.CounterParseErrors, 0) // materialize the counter
-	dopts := dataflow.Options{Metrics: cfg.Metrics}
-	var parseErrs []string
-	var parseTotal, analyzeTotal time.Duration
-	graphs := make([]*propgraph.Graph, 0, len(names))
-	for _, n := range names {
-		t0 := time.Now()
-		mod, err := pyparse.Parse(n, files[n])
-		pd := time.Since(t0)
-		parseTotal += pd
-		cfg.Metrics.ObserveDuration(obs.FileParse, pd)
-		if err != nil {
-			parseErrs = append(parseErrs, n)
-			cfg.Metrics.Add(obs.CounterParseErrors, 1)
-			cfg.Log.Log("parse.error", "file", n, "err", err)
-		}
-		t0 = time.Now()
-		g := dataflow.AnalyzeModule(mod, dopts)
-		ad := time.Since(t0)
-		analyzeTotal += ad
-		cfg.Metrics.ObserveDuration(obs.FileAnalyze, ad)
-		graphs = append(graphs, g)
-	}
-	cfg.Metrics.Add(obs.CounterFilesAnalyzed, int64(len(names)))
-	cfg.Metrics.ObserveDuration(obs.StageParse, parseTotal)
-	cfg.Metrics.ObserveDuration(obs.StageDataflow, analyzeTotal)
-	cfg.Log.Log(obs.StageParse, "files", len(names),
-		"dur", parseTotal.Round(time.Microsecond), "errors", len(parseErrs))
-	cfg.Log.Log(obs.StageDataflow, "dur", analyzeTotal.Round(time.Microsecond))
-
+	fe := AnalyzeFiles(files, cfg)
 	pre := []StageTiming{
-		{Name: obs.StageParse, Duration: parseTotal},
-		{Name: obs.StageDataflow, Duration: analyzeTotal},
+		{Name: obs.StageParse, Duration: fe.ParseTotal},
+		{Name: obs.StageDataflow, Duration: fe.AnalyzeTotal},
 	}
 	t0 := time.Now()
-	union := propgraph.Union(graphs...)
+	union := propgraph.Union(fe.Graphs...)
 	unionD := time.Since(t0)
 	cfg.Metrics.ObserveDuration(obs.StageUnion, unionD)
 	cfg.Log.Log(obs.StageUnion, "dur", unionD.Round(time.Microsecond))
@@ -218,8 +194,10 @@ func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Res
 
 	res := Learn(union, seed, cfg)
 	res.Stages = append(pre, res.Stages...)
-	res.ParseErrors = len(parseErrs)
-	res.ParseErrorFiles = parseErrs
+	res.ParseErrors = len(fe.ParseErrorFiles)
+	res.ParseErrorFiles = fe.ParseErrorFiles
+	res.FrontendWall = fe.Wall
+	res.Workers = fe.Workers
 	return res
 }
 

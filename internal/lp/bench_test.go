@@ -1,6 +1,9 @@
 package lp
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // randomishProblem builds a deterministic mid-size constraint system with
 // the structure the Seldon pipeline produces (two LHS terms, a handful of
@@ -36,3 +39,41 @@ func BenchmarkMinimizeLarge(b *testing.B) {
 		Minimize(p, Options{Iterations: 100})
 	}
 }
+
+// BenchmarkMinimizeSeedBaseline is the pre-kernel solver on the large
+// problem; compare against BenchmarkMinimizeKernel/shards=1 for the fused
+// kernel's per-epoch win and higher shard counts for the parallel win.
+func BenchmarkMinimizeSeedBaseline(b *testing.B) {
+	p := randomishProblem(5000, 50000)
+	for i := 0; i < b.N; i++ {
+		minimizeReference(p, Options{Iterations: 100})
+	}
+}
+
+func BenchmarkMinimizeKernel(b *testing.B) {
+	p := randomishProblem(5000, 50000)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Minimize(p, Options{Iterations: 100, Shards: shards})
+			}
+		})
+	}
+}
+
+// BenchmarkObjective isolates the satellite fix: the free-mask fold vs
+// the seed's per-variable map lookup.
+func BenchmarkObjective(b *testing.B) {
+	p := randomishProblem(5000, 50000)
+	x := make([]float64, p.NumVars)
+	for i := range x {
+		x[i] = float64(i%7) / 7
+	}
+	p.masks() // build the cache outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = p.Objective(x)
+	}
+}
+
+var sink float64

@@ -1,0 +1,126 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// kernelProblems are the shapes the equivalence and determinism tests run
+// over: tiny, multi-chunk (forcing the sharded pass), and heavily pinned.
+func kernelProblems() map[string]*Problem {
+	return map[string]*Problem{
+		"small":      randomishProblem(60, 300),
+		"multichunk": randomishProblem(400, 3*kernelChunk+17),
+		"nopin": {
+			NumVars: 50, C: 0.75, Lambda: 0.1, Known: map[int]float64{},
+			Constraints: randomishProblem(50, 200).Constraints,
+		},
+	}
+}
+
+// TestMinimizeDeterministicAcrossShards is the solver half of the PR's
+// determinism guarantee: the same problem solved at any shard count must
+// yield bit-for-bit identical results. Runs under -race in `make verify`.
+func TestMinimizeDeterministicAcrossShards(t *testing.T) {
+	for name, p := range kernelProblems() {
+		t.Run(name, func(t *testing.T) {
+			base := Minimize(p, Options{Iterations: 120, Shards: 1})
+			for _, shards := range []int{2, 3, 8, 32} {
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					r := Minimize(p, Options{Iterations: 120, Shards: shards})
+					if r.Iterations != base.Iterations {
+						t.Fatalf("iterations = %d, want %d", r.Iterations, base.Iterations)
+					}
+					if r.Objective != base.Objective || r.Violation != base.Violation {
+						t.Fatalf("objective/violation = %v/%v, want %v/%v",
+							r.Objective, r.Violation, base.Objective, base.Violation)
+					}
+					for i := range r.X {
+						if r.X[i] != base.X[i] {
+							t.Fatalf("x[%d] = %v, want %v (bit-for-bit)", i, r.X[i], base.X[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestKernelMatchesReference pins the kernel to the pre-kernel solver:
+// gradients and violations are computed identically, so the iterate
+// sequence — and with it the solution and epoch count — must match
+// exactly; objectives may differ in ulps (the kernel folds the L1 term
+// through the pinned-L1 constant).
+func TestKernelMatchesReference(t *testing.T) {
+	for name, p := range kernelProblems() {
+		t.Run(name, func(t *testing.T) {
+			opts := Options{Iterations: 150}
+			ref := minimizeReference(p, opts)
+			ker := Minimize(p, opts)
+			if ker.Iterations != ref.Iterations {
+				t.Fatalf("iterations = %d, reference ran %d", ker.Iterations, ref.Iterations)
+			}
+			for i := range ref.X {
+				if ker.X[i] != ref.X[i] {
+					t.Fatalf("x[%d] = %v, reference %v", i, ker.X[i], ref.X[i])
+				}
+			}
+			if d := math.Abs(ker.Objective - ref.Objective); d > 1e-9 {
+				t.Errorf("objective %v vs reference %v (|Δ| = %g)", ker.Objective, ref.Objective, d)
+			}
+			if d := math.Abs(ker.Violation - ref.Violation); d > 1e-9 {
+				t.Errorf("violation %v vs reference %v (|Δ| = %g)", ker.Violation, ref.Violation, d)
+			}
+		})
+	}
+}
+
+// TestKernelTelemetryMatchesReference checks that the re-timed epoch
+// bookkeeping still emits one EpochStats per epoch with the same
+// convergence story as the reference solver.
+func TestKernelTelemetryMatchesReference(t *testing.T) {
+	p := randomishProblem(80, 500)
+	collect := func(run func(*Problem, Options) *Result) []EpochStats {
+		var out []EpochStats
+		opts := Options{Iterations: 60, OnEpoch: func(s EpochStats) { out = append(out, s) }}
+		run(p, opts)
+		return out
+	}
+	ref := collect(minimizeReference)
+	ker := collect(Minimize)
+	if len(ker) != len(ref) {
+		t.Fatalf("kernel emitted %d epochs, reference %d", len(ker), len(ref))
+	}
+	for i := range ref {
+		if ker[i].Epoch != ref[i].Epoch {
+			t.Fatalf("epoch[%d] = %d, want %d", i, ker[i].Epoch, ref[i].Epoch)
+		}
+		if math.Abs(ker[i].Objective-ref[i].Objective) > 1e-9 ||
+			math.Abs(ker[i].Violation-ref[i].Violation) > 1e-9 ||
+			math.Abs(ker[i].GradNorm-ref[i].GradNorm) > 1e-9 ||
+			math.Abs(ker[i].StepSize-ref[i].StepSize) > 1e-9 {
+			t.Errorf("epoch %d stats diverge: kernel %+v reference %+v",
+				ref[i].Epoch, ker[i], ref[i])
+		}
+	}
+}
+
+// TestMinimizeZeroIterationBudget keeps the degenerate path (negative
+// budget after withDefaults is bypassed) aligned with the reference.
+func TestMinimizeZeroIterationBudget(t *testing.T) {
+	p := randomishProblem(40, 100)
+	r := minimizeKernel(p, Options{Iterations: -1, Shards: 1,
+		LearnRate: 0.05, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Tolerance: 1e-6})
+	if r.Iterations != 0 {
+		t.Fatalf("iterations = %d, want 0", r.Iterations)
+	}
+	if got, want := r.Objective, p.Objective(r.X); math.Abs(got-want) > 1e-9 {
+		t.Errorf("objective = %v, want %v", got, want)
+	}
+	for i, v := range r.X {
+		if want, ok := p.Known[i]; ok && v != want {
+			t.Errorf("x[%d] = %v, want pinned %v", i, v, want)
+		}
+	}
+}

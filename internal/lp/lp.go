@@ -15,7 +15,10 @@
 // TensorFlow's Adam optimizer.
 package lp
 
-import "math"
+import (
+	"runtime"
+	"sort"
+)
 
 // Term is one linear summand: Coef * x[Var].
 type Term struct {
@@ -51,16 +54,69 @@ type Problem struct {
 	C           float64 // implication-strength constant (paper: 0.75)
 	Lambda      float64 // L1 regularization weight (paper: 0.1)
 	Known       map[int]float64
+
+	// mask caches the compiled view of Known (free-variable mask, sorted
+	// pinned indices, pinned-L1 constant), shared by Objective and the
+	// solver kernel. It is rebuilt when NumVars or len(Known) change; do
+	// not mutate Known from one goroutine while another evaluates the
+	// problem.
+	mask *problemMask
+}
+
+// problemMask is the precomputed view of Problem.Known.
+type problemMask struct {
+	numVars  int
+	numKnown int
+	// free[v] reports that v is not pinned; it replaces a map lookup per
+	// variable on every objective evaluation.
+	free []bool
+	// pinIdx/pinVal list the valid pinned variables in ascending order.
+	pinIdx []int32
+	pinVal []float64
+	// pinnedL1 is λ · Σ Known — the L1 mass of the pinned block, a
+	// constant whenever x carries its pinned values.
+	pinnedL1 float64
+}
+
+// masks returns the cached compiled view of Known, rebuilding it if the
+// problem shape changed since the last call.
+func (p *Problem) masks() *problemMask {
+	if m := p.mask; m != nil && m.numVars == p.NumVars && m.numKnown == len(p.Known) {
+		return m
+	}
+	m := &problemMask{
+		numVars:  p.NumVars,
+		numKnown: len(p.Known),
+		free:     make([]bool, p.NumVars),
+	}
+	for i := range m.free {
+		m.free[i] = true
+	}
+	for v := range p.Known {
+		if v >= 0 && v < p.NumVars {
+			m.free[v] = false
+			m.pinIdx = append(m.pinIdx, int32(v))
+		}
+	}
+	sort.Slice(m.pinIdx, func(i, j int) bool { return m.pinIdx[i] < m.pinIdx[j] })
+	m.pinVal = make([]float64, len(m.pinIdx))
+	for i, v := range m.pinIdx {
+		m.pinVal[i] = p.Known[int(v)]
+		m.pinnedL1 += p.Lambda * m.pinVal[i]
+	}
+	p.mask = m
+	return m
 }
 
 // Objective evaluates the relaxed objective at x.
 func (p *Problem) Objective(x []float64) float64 {
+	free := p.masks().free
 	obj := 0.0
 	for i := range p.Constraints {
 		obj += p.Constraints[i].Violation(x, p.C)
 	}
 	for v := 0; v < p.NumVars; v++ {
-		if _, pinned := p.Known[v]; !pinned {
+		if free[v] {
 			obj += p.Lambda * x[v]
 		}
 	}
@@ -84,6 +140,13 @@ type Options struct {
 	Beta2      float64 // default 0.999
 	Eps        float64 // default 1e-8
 	Tolerance  float64 // stop when objective improves less than this; default 1e-6
+	// Shards bounds the goroutines the compiled kernel uses for the
+	// per-epoch constraint pass; 0 selects runtime.GOMAXPROCS(0) and 1
+	// keeps the pass on the calling goroutine. Results are bit-for-bit
+	// identical at every shard count: the work decomposition is fixed by
+	// the problem, and every floating-point reduction runs in a fixed
+	// order (see kernel.go).
+	Shards int
 	// OnEpoch, when non-nil, is invoked after every epoch with that
 	// epoch's convergence statistics (objective, hinge violation, L1
 	// term, gradient norm, step size, wall time). Leaving it nil keeps
@@ -110,6 +173,9 @@ func (o Options) withDefaults() Options {
 	if o.Tolerance == 0 {
 		o.Tolerance = 1e-6
 	}
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -124,93 +190,10 @@ type Result struct {
 // Minimize runs projected Adam on the problem and returns the best
 // assignment found. The start point is all zeros with known variables
 // pinned (so an empty seed yields the trivial all-zero optimum, matching
-// the paper's Q6 observation).
+// the paper's Q6 observation). The solve runs on the compiled kernel of
+// kernel.go — constraints flattened into CSR arrays, violation, gradient,
+// and objective fused into one sharded pass per epoch — and is
+// bit-for-bit reproducible at any Options.Shards value.
 func Minimize(p *Problem, opts Options) *Result {
-	opts = opts.withDefaults()
-	n := p.NumVars
-	x := make([]float64, n)
-	pin := func(xs []float64) {
-		for v, val := range p.Known {
-			if v >= 0 && v < n {
-				xs[v] = val
-			}
-		}
-	}
-	pin(x)
-
-	grad := make([]float64, n)
-	m := make([]float64, n)
-	vv := make([]float64, n)
-	free := make([]bool, n)
-	for i := range free {
-		_, pinned := p.Known[i]
-		free[i] = !pinned
-	}
-
-	best := append([]float64(nil), x...)
-	bestObj := p.Objective(x)
-	prevObj := math.Inf(1)
-	iters := 0
-	tel := newEpochTelemetry(opts, x)
-
-	for t := 1; t <= opts.Iterations; t++ {
-		iters = t
-		// Subgradient of the hinge terms.
-		for i := range grad {
-			if free[i] {
-				grad[i] = p.Lambda
-			} else {
-				grad[i] = 0
-			}
-		}
-		for i := range p.Constraints {
-			c := &p.Constraints[i]
-			if c.Violation(x, p.C) <= 0 {
-				continue
-			}
-			for _, term := range c.LHS {
-				grad[term.Var] += term.Coef
-			}
-			for _, term := range c.RHS {
-				grad[term.Var] -= term.Coef
-			}
-		}
-		// Adam update with bias correction, then projection.
-		b1t := 1 - math.Pow(opts.Beta1, float64(t))
-		b2t := 1 - math.Pow(opts.Beta2, float64(t))
-		for i := 0; i < n; i++ {
-			if !free[i] {
-				continue
-			}
-			g := grad[i]
-			m[i] = opts.Beta1*m[i] + (1-opts.Beta1)*g
-			vv[i] = opts.Beta2*vv[i] + (1-opts.Beta2)*g*g
-			mHat := m[i] / b1t
-			vHat := vv[i] / b2t
-			x[i] -= opts.LearnRate * mHat / (math.Sqrt(vHat) + opts.Eps)
-			if x[i] < 0 {
-				x[i] = 0
-			} else if x[i] > 1 {
-				x[i] = 1
-			}
-		}
-		pin(x)
-
-		obj := p.Objective(x)
-		if obj < bestObj {
-			bestObj = obj
-			copy(best, x)
-		}
-		tel.emit(p, t, x, grad, free, obj, bestObj)
-		if math.Abs(prevObj-obj) < opts.Tolerance {
-			break
-		}
-		prevObj = obj
-	}
-	return &Result{
-		X:          best,
-		Objective:  bestObj,
-		Violation:  p.TotalViolation(best),
-		Iterations: iters,
-	}
+	return minimizeKernel(p, opts.withDefaults())
 }

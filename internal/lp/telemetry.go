@@ -39,6 +39,26 @@ func newEpochTelemetry(opts Options, x []float64) *epochTelemetry {
 	}
 }
 
+// emitPrecomputed invokes the hook with quantities the kernel solve
+// already has in hand — the fused pass yields the hinge total and the
+// update loop accumulates the squared gradient and step norms — so the
+// telemetry path re-walks nothing.
+func (et *epochTelemetry) emitPrecomputed(epoch int, obj, best, hinge, gradSq, stepSq float64) {
+	if et == nil {
+		return
+	}
+	et.hook(EpochStats{
+		Epoch:     epoch,
+		Objective: obj,
+		Best:      best,
+		Violation: hinge,
+		L1:        obj - hinge,
+		GradNorm:  math.Sqrt(gradSq),
+		StepSize:  math.Sqrt(stepSq),
+		Elapsed:   time.Since(et.start),
+	})
+}
+
 // emit computes the derived quantities and invokes the hook. obj and
 // best are the caller's already-computed objective values; the hinge
 // part is re-evaluated so the L1 term falls out by subtraction.

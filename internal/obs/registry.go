@@ -31,6 +31,16 @@ const (
 	FileParse   = "file.parse"
 	FileAnalyze = "file.analyze"
 
+	// Front-end parallelism. stage.parse/stage.dataflow record summed
+	// per-file times (comparable across worker counts); stage.frontend is
+	// the wall time of the parallel parse+dataflow section.
+	StageFrontend = "stage.frontend"
+	// GaugeWorkers is the worker-pool size the front-end used.
+	GaugeWorkers = "parallel.workers"
+	// GaugeFrontendSpeedup is per-file CPU time over front-end wall time —
+	// the effective parallel speedup of the run.
+	GaugeFrontendSpeedup = "frontend.speedup"
+
 	// Counters.
 	CounterParseErrors   = "parse.errors"
 	CounterFilesAnalyzed = "files.analyzed"

@@ -163,23 +163,61 @@ func (g *Graph) NumEdges() int {
 // Union builds the global propagation graph of a dataset: the disjoint
 // union of the per-program graphs (§4, "Learning over a Global Propagation
 // Graph"). Event IDs are renumbered; inputs are not modified.
+//
+// Adjacency is bulk-copied: the inputs are well-formed graphs (edges
+// deduplicated, no self-loops) and the union is disjoint, so the per-edge
+// AddEdge duplicate scans are unnecessary. Event, successor, and
+// predecessor slices are preallocated to their exact summed sizes, and
+// predecessor lists are rebuilt in ascending-source order — the order the
+// AddEdge-based union produced — so the result is byte-identical to it.
 func Union(graphs ...*Graph) *Graph {
-	out := New()
+	totalEvents := 0
+	for _, g := range graphs {
+		totalEvents += len(g.Events)
+	}
+	out := &Graph{
+		Events: make([]*Event, 0, totalEvents),
+		succs:  make([][]int, totalEvents),
+		preds:  make([][]int, totalEvents),
+	}
+
+	// Events and successor lists, then predecessor-list sizes.
+	predLen := make([]int, totalEvents)
 	for _, g := range graphs {
 		base := len(out.Events)
 		for _, e := range g.Events {
 			ne := *e
 			ne.ID = base + e.ID
 			out.Events = append(out.Events, &ne)
-			out.succs = append(out.succs, nil)
-			out.preds = append(out.preds, nil)
 		}
 		for src, ss := range g.succs {
+			if len(ss) == 0 {
+				continue
+			}
+			shifted := make([]int, len(ss))
+			for i, dst := range ss {
+				shifted[i] = base + dst
+				predLen[base+dst]++
+			}
+			out.succs[base+src] = shifted
+		}
+	}
+
+	// Predecessor lists, exact-size, filled in ascending-source order.
+	for id, n := range predLen {
+		if n > 0 {
+			out.preds[id] = make([]int, 0, n)
+		}
+	}
+	base := 0
+	for _, g := range graphs {
+		for src, ss := range g.succs {
 			for _, dst := range ss {
-				out.AddEdge(base+src, base+dst)
+				out.preds[base+dst] = append(out.preds[base+dst], base+src)
 			}
 		}
 		out.copyEdgeArgs(g, base)
+		base += len(g.Events)
 	}
 	return out
 }

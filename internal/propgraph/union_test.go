@@ -1,0 +1,131 @@
+package propgraph
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"seldon/internal/pytoken"
+)
+
+// naiveUnion replicates the original per-edge AddEdge-based union. The
+// bulk-copying Union must stay byte-identical to it.
+func naiveUnion(graphs ...*Graph) *Graph {
+	out := New()
+	for _, g := range graphs {
+		base := len(out.Events)
+		for _, e := range g.Events {
+			ne := *e
+			ne.ID = base + e.ID
+			out.Events = append(out.Events, &ne)
+			out.succs = append(out.succs, nil)
+			out.preds = append(out.preds, nil)
+		}
+		for src, ss := range g.succs {
+			for _, dst := range ss {
+				out.AddEdge(base+src, base+dst)
+			}
+		}
+		out.copyEdgeArgs(g, base)
+	}
+	return out
+}
+
+// pseudoGraph builds a deterministic graph with irregular fan-in/fan-out,
+// labeled edges, and some isolated vertices.
+func pseudoGraph(seed, nEvents int) *Graph {
+	g := New()
+	kinds := []EventKind{KindCall, KindRead, KindParam}
+	for i := 0; i < nEvents; i++ {
+		reps := []string{fmt.Sprintf("g%d.f%d", seed, i)}
+		if i%3 == 0 {
+			reps = append(reps, fmt.Sprintf("f%d", i))
+		}
+		g.AddEvent(kinds[(seed+i)%len(kinds)], fmt.Sprintf("g%d.py", seed),
+			pytoken.Pos{Line: i + 1}, reps)
+	}
+	for i := 0; i < nEvents*3; i++ {
+		src := (seed*31 + i*13) % nEvents
+		dst := (seed*17 + i*7 + 1) % nEvents
+		switch i % 4 {
+		case 0:
+			g.AddEdge(src, dst)
+		case 1:
+			g.AddEdgeArg(src, dst, i%5)
+		case 2:
+			g.AddEdgeArg(src, dst, ArgReceiver)
+		default:
+			// Duplicate an earlier edge to exercise dedup in the naive path.
+			g.AddEdge(dst, src)
+			g.AddEdge(dst, src)
+		}
+	}
+	return g
+}
+
+func TestUnionMatchesAddEdgeUnion(t *testing.T) {
+	cases := [][]*Graph{
+		{},
+		{New()},
+		{pseudoGraph(1, 12)},
+		{pseudoGraph(1, 12), New(), pseudoGraph(2, 7)},
+		{pseudoGraph(3, 40), pseudoGraph(4, 25), pseudoGraph(5, 1), pseudoGraph(6, 33)},
+	}
+	for ci, graphs := range cases {
+		got := Union(graphs...)
+		want := naiveUnion(graphs...)
+		if len(got.Events) != len(want.Events) {
+			t.Fatalf("case %d: %d events, want %d", ci, len(got.Events), len(want.Events))
+		}
+		for id := range want.Events {
+			if !reflect.DeepEqual(got.Events[id], want.Events[id]) {
+				t.Fatalf("case %d: event %d = %+v, want %+v", ci, id, got.Events[id], want.Events[id])
+			}
+			if !reflect.DeepEqual(got.Succs(id), want.Succs(id)) {
+				t.Fatalf("case %d: succs(%d) = %v, want %v", ci, id, got.Succs(id), want.Succs(id))
+			}
+			if !reflect.DeepEqual(got.Preds(id), want.Preds(id)) {
+				t.Fatalf("case %d: preds(%d) = %v, want %v", ci, id, got.Preds(id), want.Preds(id))
+			}
+			for _, dst := range want.Succs(id) {
+				if !reflect.DeepEqual(got.EdgeArgs(id, dst), want.EdgeArgs(id, dst)) {
+					t.Fatalf("case %d: edgeArgs(%d,%d) = %v, want %v",
+						ci, id, dst, got.EdgeArgs(id, dst), want.EdgeArgs(id, dst))
+				}
+			}
+		}
+		var gotBuf, wantBuf bytes.Buffer
+		if err := got.Encode(&gotBuf); err != nil {
+			t.Fatalf("case %d: encode: %v", ci, err)
+		}
+		if err := want.Encode(&wantBuf); err != nil {
+			t.Fatalf("case %d: encode naive: %v", ci, err)
+		}
+		if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+			t.Fatalf("case %d: encodings differ", ci)
+		}
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	graphs := make([]*Graph, 64)
+	for i := range graphs {
+		graphs[i] = pseudoGraph(i, 120)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(graphs...)
+	}
+}
+
+func BenchmarkUnionNaive(b *testing.B) {
+	graphs := make([]*Graph, 64)
+	for i := range graphs {
+		graphs[i] = pseudoGraph(i, 120)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveUnion(graphs...)
+	}
+}
