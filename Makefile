@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json
+# bench-json snapshot name; parameterized so each PR's snapshot
+# (BENCH_<pr>.json) doesn't overwrite the last.
+BENCH ?= BENCH_3.json
+
+.PHONY: build test vet race verify bench bench-json serve
 
 build:
 	$(GO) build ./...
@@ -12,10 +16,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with concurrency-sensitive surfaces: the
-# metrics registry, the sharded solver kernel, and the parallel corpus
-# front-end.
+# metrics registry, the sharded solver kernel, the parallel corpus
+# front-end, and the HTTP service (worker pool, backpressure, drain).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/service/...
 
 # verify = tier-1 (build + full tests) plus vet and the race checks.
 verify: vet race build test
@@ -27,4 +31,12 @@ bench:
 # bench-json captures a metrics snapshot (stage-timer p50s, worker gauge,
 # front-end speedup) of a representative parallel run.
 bench-json:
-	$(GO) run ./cmd/seldon -generate 240 -workers 4 -metrics-json BENCH_2.json >/dev/null
+	$(GO) run ./cmd/seldon -generate 240 -workers 4 -metrics-json $(BENCH) >/dev/null
+
+# serve learns a spec store (if absent) and boots the taint service on
+# :8647 — /v1/check, /v1/specs, /v1/healthz, /metrics, /debug/pprof/.
+specs.json:
+	$(GO) run ./cmd/seldon -generate 240 -o $@ >/dev/null
+
+serve: specs.json
+	$(GO) run ./cmd/seldond -specs specs.json -addr :8647 -v

@@ -7,6 +7,7 @@
 //
 //	seldon -dir path/to/python/repo [-seedfile seed.spec] [-threshold 0.1]
 //	seldon -generate 400           # run on a synthetic corpus instead
+//	seldon -generate 240 -o specs.json   # persist a spec store for seldond
 //
 // Observability:
 //
@@ -30,6 +31,7 @@ import (
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/spec"
+	"seldon/internal/specio"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 		limit     = flag.Int("top", 50, "print at most this many inferred specs per role")
 		workers   = flag.Int("workers", 0, "front-end worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
 		out       = flag.String("out", "", "write the merged (seed + learned) specification to this file, for taintcheck -spec")
+		store     = flag.String("o", "", "write the merged specification as a versioned JSON spec store (with provenance metadata), for seldond -specs")
 
 		verbose     = flag.Bool("v", false, "log pipeline stages and parse errors to stderr")
 		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
@@ -61,10 +64,15 @@ func main() {
 		reg = obs.New()
 	}
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, reg)
+		srv, errc, err := obs.Serve(*httpAddr, reg)
 		if err != nil {
-			fatal(err)
+			fatal(err) // fail fast: busy port, bad address
 		}
+		go func() {
+			if err := <-errc; err != nil {
+				fatal(err)
+			}
+		}()
 		logger.Log("http.listen", "addr", srv.Addr)
 	}
 	stopCPU := func() error { return nil }
@@ -134,6 +142,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d specification entries to %s\n", merged.Len(), *out)
+	}
+	if *store != "" {
+		merged := res.LearnedSpec(seedSpec)
+		meta := specio.Meta{
+			CorpusFingerprint: specio.Fingerprint(files),
+			CorpusFiles:       len(files),
+			Events:            st.Events,
+			SeedEntries:       seedSpec.Len(),
+			LearnedEntries:    merged.Len() - seedSpec.Len(),
+			Generator:         "seldon",
+		}
+		if err := specio.Save(*store, merged, meta); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote spec store (%d entries, schema v%d) to %s\n",
+			merged.Len(), specio.SchemaVersion, *store)
 	}
 
 	entries := res.LearnedEntries(seedSpec)

@@ -1,0 +1,94 @@
+// Command seldond is the long-running taint-analysis service: it loads
+// a specification store learned by `seldon -o` and serves taint checks
+// over HTTP until SIGINT/SIGTERM, then drains in-flight requests.
+//
+// Usage:
+//
+//	seldon -generate 240 -o specs.json     # learn and persist the store
+//	seldond -specs specs.json -addr :8647  # serve it
+//
+//	curl -s localhost:8647/v1/healthz
+//	curl -s localhost:8647/v1/specs?role=sink
+//	curl -s --data-binary @app.py 'localhost:8647/v1/check?filename=app.py&trace=1'
+//	curl -s localhost:8647/metrics          # request counters + latency p50/p95
+//
+// The operator surface (/metrics, /metrics.txt, /debug/pprof/) shares
+// the service mux, so one port carries traffic and telemetry.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seldon/internal/obs"
+	"seldon/internal/service"
+	"seldon/internal/specio"
+)
+
+func main() {
+	var (
+		specsPath = flag.String("specs", "", "specification store to serve (JSON, from `seldon -o`); required")
+		addr      = flag.String("addr", ":8647", "listen address (\":0\" picks a free port)")
+		workers   = flag.Int("workers", 0, "concurrent checks (0 = GOMAXPROCS, 1 = serialized)")
+		queue     = flag.Int("queue", 0, "requests allowed to wait for a worker before 429 (0 = 2x workers)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-check deadline (503 when exceeded)")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body cap in bytes (413 when exceeded)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		verbose   = flag.Bool("v", false, "log requests and lifecycle events to stderr")
+	)
+	flag.Parse()
+
+	if *specsPath == "" {
+		fatal(fmt.Errorf("need -specs (learn one with `seldon -generate 240 -o specs.json`)"))
+	}
+	sp, meta, err := specio.Load(*specsPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var logger *obs.Logger
+	if *verbose {
+		logger = obs.NewLogger(os.Stderr)
+	}
+	reg := obs.New()
+	srv := service.New(service.Config{
+		Spec:           sp,
+		Meta:           meta,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		DrainTimeout:   *drain,
+		Metrics:        reg,
+		Log:            logger,
+		OnReady: func(addr string) {
+			fmt.Printf("seldond: listening on %s\n", addr)
+		},
+	})
+
+	fmt.Printf("seldond: serving %d specification entries (%d sources, %d sanitizers, %d sinks) from %s\n",
+		sp.Len(), len(sp.Sources), len(sp.Sanitizers), len(sp.Sinks), *specsPath)
+	if meta.CorpusFingerprint != "" {
+		fmt.Printf("seldond: store provenance: %d corpus files, %d events, fingerprint %s\n",
+			meta.CorpusFiles, meta.Events, meta.CorpusFingerprint)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Run binds synchronously, so a busy port fails fast here rather
+	// than after the process looks healthy.
+	if err := srv.Run(ctx, *addr); err != nil {
+		fatal(err)
+	}
+	fmt.Println("seldond: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seldond:", err)
+	os.Exit(1)
+}

@@ -52,10 +52,15 @@ func main() {
 		reg = obs.New()
 	}
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, reg)
+		srv, errc, err := obs.Serve(*httpAddr, reg)
 		if err != nil {
-			fatal(err)
+			fatal(err) // fail fast: busy port, bad address
 		}
+		go func() {
+			if err := <-errc; err != nil {
+				fatal(err)
+			}
+		}()
 		logger.Log("http.listen", "addr", srv.Addr)
 	}
 	stopCPU := func() error { return nil }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"net"
 	"net/http"
 	netpprof "net/http/pprof"
@@ -39,14 +40,23 @@ func NewServeMux(r *Registry) *http.ServeMux {
 
 // Serve listens on addr and serves the operator mux in a background
 // goroutine, returning the bound server (Addr is resolved, so ":0"
-// callers can discover the port). The caller may Close it or simply
-// exit; errors after a successful bind are dropped.
-func Serve(addr string, r *Registry) (*http.Server, error) {
+// callers can discover the port). Bind failures — a busy port, a bad
+// address — are returned synchronously so callers fail fast at startup.
+// A Serve failure after a successful bind lands on the returned error
+// channel, which is closed when the listener stops (a clean Close/
+// Shutdown delivers no error).
+func Serve(addr string, r *Registry) (*http.Server, <-chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewServeMux(r)}
-	go srv.Serve(ln)
-	return srv, nil
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+		close(errc)
+	}()
+	return srv, errc, nil
 }

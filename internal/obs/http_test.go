@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestServeLifecycle(t *testing.T) {
+	reg := New()
+	reg.Add("test.counter", 7)
+	srv, errc, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["test.counter"] != 7 {
+		t.Errorf("counter over HTTP = %d", snap.Counters["test.counter"])
+	}
+
+	// A clean Close delivers no error: the channel just closes.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err, ok := <-errc:
+		if ok && err != nil {
+			t.Errorf("clean close delivered error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("error channel not closed after Close")
+	}
+}
+
+func TestServeFailsFastOnBusyPort(t *testing.T) {
+	srv, _, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// The second bind must fail synchronously — this is the startup
+	// fail-fast contract seldond and the CLIs rely on.
+	if _, _, err := Serve(srv.Addr, nil); err == nil {
+		t.Fatal("bind on busy port succeeded")
+	}
+}

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"seldon/internal/core"
+	"seldon/internal/propgraph"
+	"seldon/internal/specio"
+	"seldon/internal/taint"
+)
+
+// Finding is one taint report in a /v1/check response.
+type Finding struct {
+	File      string `json:"file"`
+	Source    string `json:"source"`
+	Sink      string `json:"sink"`
+	SourcePos string `json:"source_pos"`
+	SinkPos   string `json:"sink_pos"`
+	Category  string `json:"category"`
+	// Trace is the witness flow rendered as text, present with ?trace=1.
+	Trace string `json:"trace,omitempty"`
+}
+
+// CheckResponse is the /v1/check response body.
+type CheckResponse struct {
+	File       string         `json:"file"`
+	Findings   []Finding      `json:"findings"`
+	Total      int            `json:"total"`
+	ByCategory map[string]int `json:"by_category,omitempty"`
+	// ParseError carries a recovered parse failure; analysis still ran
+	// over the recovered AST (same contract as the CLIs).
+	ParseError string  `json:"parse_error,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// handleCheck implements POST /v1/check: the body is one Python source
+// file; the response lists unsanitized source→sink flows under the
+// loaded specification. Query parameters: filename (report label,
+// default "request.py"), trace=1 (include witness traces), dedupe=1
+// (collapse findings sharing source and sink representations).
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, "check", http.StatusMethodNotAllowed, "POST a Python source file")
+		return
+	}
+	span := s.cfg.Metrics.Start(TimerCheck)
+	s.cfg.Metrics.Add(CounterRequests, 1)
+	s.cfg.Metrics.Add(CounterRequests+".check", 1)
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, "check", http.StatusRequestEntityTooLarge,
+				"body exceeds "+strconv.FormatInt(s.cfg.MaxBodyBytes, 10)+" bytes")
+			return
+		}
+		s.fail(w, "check", http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		if errors.Is(err, errBusy) {
+			s.cfg.Metrics.Add(CounterRejected, 1)
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, "check", http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		s.timeoutResponse(w, err)
+		return
+	}
+
+	name := r.URL.Query().Get("filename")
+	if name == "" {
+		name = "request.py"
+	}
+
+	// Run the pipeline on the worker slot; the handler goroutine only
+	// waits for it or the deadline. On timeout the analysis goroutine
+	// finishes on its own and releases the slot then — the pool bound
+	// stays honest even when clients have long gone.
+	type outcome struct {
+		resp *CheckResponse
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer release()
+		if s.checkGate != nil {
+			<-s.checkGate
+		}
+		done <- outcome{resp: s.check(name, string(body), r.URL.Query().Get("trace") == "1",
+			r.URL.Query().Get("dedupe") == "1")}
+	}()
+
+	select {
+	case out := <-done:
+		out.resp.ElapsedMS = float64(span.End()) / float64(time.Millisecond)
+		s.writeJSON(w, http.StatusOK, out.resp)
+		s.cfg.Log.Log("check.done", "file", name, "findings", out.resp.Total)
+	case <-ctx.Done():
+		s.cfg.Metrics.Add(CounterTimeouts, 1)
+		span.End()
+		s.timeoutResponse(w, ctx.Err())
+	}
+}
+
+// check runs the per-request analysis: parse + dataflow via the shared
+// corpus front-end (Workers: 1 — request-level parallelism comes from
+// the handler pool), union, then the taint analyzer. It is the same
+// code path cmd/taintcheck runs, so findings match the CLI byte for
+// byte on the same input.
+func (s *Server) check(name, source string, withTrace, dedupe bool) *CheckResponse {
+	span := s.cfg.Metrics.Start(TimerAnalyze)
+	fe := core.AnalyzeFiles(map[string]string{name: source},
+		core.Config{Workers: 1, Metrics: s.cfg.Metrics})
+	union := propgraph.Union(fe.Graphs...)
+	reports := taint.Analyze(union, s.cfg.Spec)
+	if dedupe {
+		reports = taint.Dedupe(reports)
+	}
+	span.End()
+
+	resp := &CheckResponse{File: name, Findings: []Finding{}}
+	if len(fe.ParseErrs) > 0 {
+		resp.ParseError = fe.ParseErrs[0].Error()
+	}
+	for i := range reports {
+		rep := &reports[i]
+		f := Finding{
+			File:      rep.File,
+			Source:    rep.SourceRep,
+			Sink:      rep.SinkRep,
+			SourcePos: rep.SourcePos.String(),
+			SinkPos:   rep.SinkPos.String(),
+			Category:  string(rep.Category),
+		}
+		if withTrace {
+			f.Trace = rep.Trace(union)
+		}
+		resp.Findings = append(resp.Findings, f)
+	}
+	sum := taint.Summarize(reports)
+	resp.Total = sum.Total
+	if sum.Total > 0 {
+		resp.ByCategory = make(map[string]int, len(sum.ByCategory))
+		for c, n := range sum.ByCategory {
+			resp.ByCategory[string(c)] = n
+		}
+	}
+	s.cfg.Metrics.Add("taint.reports", int64(sum.Total))
+	return resp
+}
+
+// SpecEntry is one role assignment in a /v1/specs response.
+type SpecEntry struct {
+	Role string `json:"role"`
+	Rep  string `json:"rep"`
+	Args []int  `json:"args,omitempty"`
+}
+
+// SpecsResponse is the /v1/specs response body.
+type SpecsResponse struct {
+	Schema    int         `json:"schema"`
+	Meta      specio.Meta `json:"meta"`
+	Count     int         `json:"count"`
+	Entries   []SpecEntry `json:"entries"`
+	Blacklist []string    `json:"blacklist,omitempty"`
+}
+
+// handleSpecs implements GET /v1/specs. Query parameters: role
+// (source|sanitizer|sink), q (substring of the representation), limit.
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.fail(w, "specs", http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.cfg.Metrics.Add(CounterRequests, 1)
+	s.cfg.Metrics.Add(CounterRequests+".specs", 1)
+
+	roleFilter := r.URL.Query().Get("role")
+	if roleFilter != "" && roleFilter != "source" && roleFilter != "sanitizer" && roleFilter != "sink" {
+		s.fail(w, "specs", http.StatusBadRequest, "role must be source, sanitizer, or sink")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			s.fail(w, "specs", http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+
+	resp := &SpecsResponse{Schema: specio.SchemaVersion, Meta: s.cfg.Meta, Entries: []SpecEntry{}}
+	add := func(role string, reps []string) {
+		if roleFilter != "" && roleFilter != role {
+			return
+		}
+		for _, rep := range reps {
+			if q != "" && !strings.Contains(rep, q) {
+				continue
+			}
+			e := SpecEntry{Role: role, Rep: rep}
+			if role == "sink" {
+				e.Args = s.cfg.Spec.SinkArgsOf(rep)
+			}
+			resp.Entries = append(resp.Entries, e)
+		}
+	}
+	add("source", s.cfg.Spec.Sources)
+	add("sanitizer", s.cfg.Spec.Sanitizers)
+	add("sink", s.cfg.Spec.Sinks)
+	resp.Count = len(resp.Entries)
+	if limit > 0 && len(resp.Entries) > limit {
+		resp.Entries = resp.Entries[:limit]
+	}
+	if roleFilter == "" && q == "" {
+		for _, p := range s.cfg.Spec.Blacklist {
+			resp.Blacklist = append(resp.Blacklist, p.String())
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the /v1/healthz response body.
+type HealthResponse struct {
+	Status   string  `json:"status"`
+	Specs    int     `json:"specs"`
+	Inflight int64   `json:"inflight"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+// handleHealthz implements GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.cfg.Metrics.Add(CounterRequests, 1)
+	s.cfg.Metrics.Add(CounterRequests+".healthz", 1)
+	s.writeJSON(w, http.StatusOK, &HealthResponse{
+		Status:   "ok",
+		Specs:    s.cfg.Spec.Len(),
+		Inflight: s.inflight.Load(),
+		UptimeS:  time.Since(s.start).Seconds(),
+	})
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) timeoutResponse(w http.ResponseWriter, err error) {
+	s.fail(w, "check", http.StatusServiceUnavailable, "check did not finish in time: "+err.Error())
+}
+
+func (s *Server) fail(w http.ResponseWriter, route string, code int, msg string) {
+	if code != http.StatusTooManyRequests {
+		s.cfg.Metrics.Add(CounterErrors, 1)
+	}
+	s.cfg.Log.Log("http.error", "route", route, "code", code, "err", msg)
+	s.writeJSON(w, code, &errorResponse{Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

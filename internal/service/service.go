@@ -1,0 +1,231 @@
+// Package service is the long-running taint-analysis server behind
+// cmd/seldond: it loads a specification store (internal/specio) once at
+// startup and then answers check requests over HTTP, running the
+// pyparse → dataflow → propgraph → taint pipeline per request.
+//
+// Endpoints (mounted alongside the internal/obs operator surface, so
+// /metrics, /metrics.txt, and /debug/pprof/ are served from the same
+// mux):
+//
+//	POST /v1/check    Python source in the body → taint findings as JSON
+//	GET  /v1/specs    filtered specification lookup
+//	GET  /v1/healthz  liveness + store summary
+//
+// The server is built for sustained traffic: analysis runs on a bounded
+// worker pool (Config.Workers, core.Config.Workers semantics), requests
+// beyond the pool wait in a bounded queue and overflow is rejected with
+// 429, request bodies are size-capped (413), every check carries a
+// context deadline, and Run drains in-flight requests on shutdown.
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"seldon/internal/obs"
+	"seldon/internal/spec"
+	"seldon/internal/specio"
+)
+
+// Metric names exported by the service, next to the pipeline's
+// stage.* names in the /metrics snapshot.
+const (
+	// CounterRequests counts accepted HTTP requests; per-endpoint
+	// counters are CounterRequests + "." + route (e.g. "http.requests.check").
+	CounterRequests = "http.requests"
+	// CounterRejected counts 429 backpressure rejections.
+	CounterRejected = "http.rejected"
+	// CounterErrors counts non-2xx responses other than 429.
+	CounterErrors = "http.errors"
+	// CounterTimeouts counts checks cancelled by the request deadline.
+	CounterTimeouts = "http.timeouts"
+	// TimerCheck is the end-to-end /v1/check latency (p50/p95 in the
+	// snapshot); TimerAnalyze is just the analysis section.
+	TimerCheck   = "http.check.latency"
+	TimerAnalyze = "http.check.analyze"
+	// GaugeInflight is the number of checks currently holding a worker
+	// slot; GaugeQueued counts requests admitted but waiting for one.
+	GaugeInflight = "http.inflight"
+	GaugeQueued   = "http.queued"
+)
+
+// Config parametrizes a Server. The zero value of every field selects a
+// production-safe default.
+type Config struct {
+	// Spec is the loaded specification store (required); Meta is its
+	// provenance block, echoed by /v1/specs and /v1/healthz.
+	Spec *spec.Spec
+	Meta specio.Meta
+
+	// Workers bounds concurrently running checks, with core.Config.Workers
+	// semantics: 0 selects runtime.GOMAXPROCS(0), 1 serializes.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; beyond
+	// Workers+QueueDepth the server answers 429. 0 selects 2×Workers.
+	QueueDepth int
+	// RequestTimeout caps one check (queue wait + analysis); 0 selects
+	// 30s. Exceeding it answers 503.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the /v1/check request body; 0 selects 1 MiB.
+	// Larger bodies answer 413.
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown; 0 selects 10s.
+	DrainTimeout time.Duration
+
+	// Metrics and Log receive request telemetry; both may be nil.
+	Metrics *obs.Registry
+	Log     *obs.Logger
+
+	// OnReady, when non-nil, is called once with the resolved listen
+	// address after a successful bind (":0" callers learn the port).
+	OnReady func(addr string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server answers taint-check traffic against a fixed specification.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	// sem holds one token per running check; admitted counts every
+	// request between admission control and completion (running +
+	// queued), bounded by Workers+QueueDepth.
+	sem      chan struct{}
+	admitted atomic.Int64
+	inflight atomic.Int64
+
+	// checkGate, when non-nil, blocks each check until the channel is
+	// closed — test hook for saturation and drain tests.
+	checkGate chan struct{}
+}
+
+// New builds a Server from cfg. cfg.Spec must be non-nil.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+}
+
+// Handler returns the full mux: the three /v1/ endpoints plus the
+// operator surface (/metrics, /metrics.txt, /debug/pprof/).
+func (s *Server) Handler() http.Handler {
+	mux := obs.NewServeMux(s.cfg.Metrics)
+	mux.HandleFunc("/v1/check", s.handleCheck)
+	mux.HandleFunc("/v1/specs", s.handleSpecs)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// errBusy is returned by admit when the queue is full.
+var errBusy = errors.New("service: at capacity")
+
+// admit applies backpressure: it reserves a queue position, then waits
+// for a worker slot or the context. The returned release frees the
+// worker slot; the queue position is freed when the slot is acquired or
+// admission fails.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	if s.admitted.Add(1) > limit {
+		s.admitted.Add(-1)
+		return nil, errBusy
+	}
+	s.updateGauges()
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		s.updateGauges()
+		return func() {
+			<-s.sem
+			s.inflight.Add(-1)
+			s.admitted.Add(-1)
+			s.updateGauges()
+		}, nil
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		s.updateGauges()
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) updateGauges() {
+	s.cfg.Metrics.Set(GaugeInflight, float64(s.inflight.Load()))
+	s.cfg.Metrics.Set(GaugeQueued, float64(s.admitted.Load()-s.inflight.Load()))
+}
+
+// Start binds addr and serves in a background goroutine. The returned
+// server's Addr is the resolved address (":0" callers discover the
+// port), and the error channel reports a Serve failure after a
+// successful bind; it is closed when the listener stops. Bind failures
+// (busy port, bad address) are returned synchronously — callers fail
+// fast at startup.
+func (s *Server) Start(addr string) (*http.Server, <-chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+		close(errc)
+	}()
+	s.cfg.Log.Log("service.listen", "addr", srv.Addr,
+		"workers", s.cfg.Workers, "queue", s.cfg.QueueDepth,
+		"specs", s.cfg.Spec.Len())
+	if s.cfg.OnReady != nil {
+		s.cfg.OnReady(srv.Addr)
+	}
+	return srv, errc, nil
+}
+
+// Run serves addr until ctx is cancelled (typically by SIGINT/SIGTERM
+// via signal.NotifyContext), then shuts down gracefully: the listener
+// stops accepting and in-flight requests drain for up to
+// Config.DrainTimeout. A listener error also ends the run.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	srv, errc, err := s.Start(addr)
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Log.Log("service.drain", "inflight", s.inflight.Load())
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	s.cfg.Log.Log("service.stopped", "uptime", time.Since(s.start).Round(time.Millisecond))
+	return nil
+}
