@@ -2,7 +2,7 @@ GO ?= go
 
 # bench-json snapshot name; parameterized so each PR's snapshot
 # (BENCH_<pr>.json) doesn't overwrite the last.
-BENCH ?= BENCH_3.json
+BENCH ?= BENCH_4.json
 
 .PHONY: build test vet race verify bench bench-json serve
 
@@ -17,9 +17,10 @@ vet:
 
 # Race-check the packages with concurrency-sensitive surfaces: the
 # metrics registry, the sharded solver kernel, the parallel corpus
-# front-end, and the HTTP service (worker pool, backpressure, drain).
+# front-end, the analysis cache, and the HTTP service (worker pool,
+# backpressure, drain, hot reload).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/service/...
+	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/fpcache/... ./internal/service/...
 
 # verify = tier-1 (build + full tests) plus vet and the race checks.
 verify: vet race build test
@@ -29,9 +30,14 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # bench-json captures a metrics snapshot (stage-timer p50s, worker gauge,
-# front-end speedup) of a representative parallel run.
+# cache.* counters and warm speedup) of a representative parallel run:
+# a cold pass populates a throwaway analysis cache, then the warm pass —
+# the one snapshotted — replays it with every file a hit.
 bench-json:
-	$(GO) run ./cmd/seldon -generate 240 -workers 4 -metrics-json $(BENCH) >/dev/null
+	rm -rf .benchcache && \
+	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache >/dev/null && \
+	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -metrics-json $(BENCH) >/dev/null && \
+	rm -rf .benchcache
 
 # serve learns a spec store (if absent) and boots the taint service on
 # :8647 — /v1/check, /v1/specs, /v1/healthz, /metrics, /debug/pprof/.

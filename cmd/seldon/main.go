@@ -15,6 +15,14 @@
 //	seldon -generate 400 -metrics-json m.json    # metrics snapshot at exit
 //	seldon -generate 400 -http :8080             # /metrics + /debug/pprof
 //	seldon -generate 400 -cpuprofile cpu.out -memprofile mem.out
+//
+// Incremental analysis: -cache-dir keeps per-file front-end results in a
+// content-addressed on-disk cache, so re-learning after editing a few
+// files only re-parses those files. Results are bitwise identical with
+// and without the cache; -cache-clear empties the directory first.
+//
+//	seldon -dir repo -cache-dir ~/.cache/seldon
+//	seldon -dir repo -cache-dir ~/.cache/seldon -cache-clear
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 
 	"seldon/internal/core"
 	"seldon/internal/corpus"
+	"seldon/internal/fpcache"
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/spec"
@@ -46,6 +55,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "front-end worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
 		out       = flag.String("out", "", "write the merged (seed + learned) specification to this file, for taintcheck -spec")
 		store     = flag.String("o", "", "write the merged specification as a versioned JSON spec store (with provenance metadata), for seldond -specs")
+
+		cacheDir   = flag.String("cache-dir", "", "persistent per-file analysis cache directory (content-addressed; results are bitwise identical with or without it)")
+		cacheClear = flag.Bool("cache-clear", false, "empty -cache-dir before the run")
 
 		verbose     = flag.Bool("v", false, "log pipeline stages and parse errors to stderr")
 		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
@@ -98,6 +110,18 @@ func main() {
 	cfg := core.Config{Threshold: *threshold, Workers: *workers, Metrics: reg, Log: logger}
 	cfg.Constraints.Lambda = *lambda
 	cfg.Constraints.C = *cval
+	if *cacheDir != "" {
+		cache, err := fpcache.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheClear {
+			if err := cache.Clear(); err != nil {
+				fatal(err)
+			}
+		}
+		cfg.Cache = cache
+	}
 	res := core.LearnFromSources(files, seedSpec, cfg)
 
 	st := res.Graph.ComputeStats()
@@ -115,11 +139,16 @@ func main() {
 		res.SolverEpochs)
 	fmt.Print(stageBreakdown(res))
 	if res.Workers > 1 && res.FrontendWall > 0 {
-		cpu := res.StageTime(obs.StageParse) + res.StageTime(obs.StageDataflow)
-		fmt.Printf("front-end: %d workers, wall %s, effective speedup %.2fx\n",
-			res.Workers, res.FrontendWall.Round(time.Microsecond),
-			float64(cpu)/float64(res.FrontendWall))
+		// On a fully warm cache run parse+dataflow never execute, so the
+		// parallel-speedup ratio is meaningless — the cache line below
+		// carries the relevant number instead.
+		if cpu := res.StageTime(obs.StageParse) + res.StageTime(obs.StageDataflow); cpu > 0 {
+			fmt.Printf("front-end: %d workers, wall %s, effective speedup %.2fx\n",
+				res.Workers, res.FrontendWall.Round(time.Microsecond),
+				float64(cpu)/float64(res.FrontendWall))
+		}
 	}
+	fmt.Print(cacheSummary(res, cfg.Cache))
 
 	if err := stopCPU(); err != nil {
 		fatal(err)
@@ -197,6 +226,28 @@ func stageBreakdown(res *core.Result) string {
 	}
 	fmt.Fprintf(&b, "  %-18s %10s\n", "total", total.Round(time.Microsecond))
 	return b.String()
+}
+
+// cacheSummary formats the analysis-cache line: hit rate, entry bytes
+// touched, front-end time the hits avoided, and the resulting estimated
+// speedup over an uncached run of the same corpus.
+func cacheSummary(res *core.Result, cache *fpcache.Cache) string {
+	if cache == nil {
+		return ""
+	}
+	total := res.CacheHits + res.CacheMisses
+	rate := 0.0
+	if total > 0 {
+		rate = 100 * float64(res.CacheHits) / float64(total)
+	}
+	line := fmt.Sprintf("cache: %d/%d hits (%.1f%%), %d misses, %d bytes, saved %s",
+		res.CacheHits, total, rate, res.CacheMisses, res.CacheBytes,
+		res.CacheSaved.Round(time.Microsecond))
+	if res.CacheSaved > 0 && res.FrontendWall > 0 {
+		line += fmt.Sprintf(", est. warm speedup %.2fx",
+			float64(res.FrontendWall+res.CacheSaved)/float64(res.FrontendWall))
+	}
+	return line + "\n"
 }
 
 func fatal(err error) {

@@ -12,6 +12,13 @@
 //	curl -s --data-binary @app.py 'localhost:8647/v1/check?filename=app.py&trace=1'
 //	curl -s localhost:8647/metrics          # request counters + latency p50/p95
 //
+// Hot reload: after re-learning into the same store file, POST
+// /v1/reload re-reads it and swaps the new specs in atomically —
+// in-flight checks finish against the store they started with, and an
+// invalid store is rejected (422) while the old one keeps serving:
+//
+//	seldon -generate 240 -o specs.json && curl -s -XPOST localhost:8647/v1/reload
+//
 // The operator surface (/metrics, /metrics.txt, /debug/pprof/) shares
 // the service mux, so one port carries traffic and telemetry.
 package main
@@ -59,6 +66,7 @@ func main() {
 	srv := service.New(service.Config{
 		Spec:           sp,
 		Meta:           meta,
+		StorePath:      *specsPath,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
@@ -73,6 +81,9 @@ func main() {
 
 	fmt.Printf("seldond: serving %d specification entries (%d sources, %d sanitizers, %d sinks) from %s\n",
 		sp.Len(), len(sp.Sources), len(sp.Sanitizers), len(sp.Sinks), *specsPath)
+	if fp, err := specio.FingerprintStore(sp, meta); err == nil {
+		fmt.Printf("seldond: store fingerprint %s (POST /v1/reload to hot-swap after re-learning)\n", fp)
+	}
 	if meta.CorpusFingerprint != "" {
 		fmt.Printf("seldond: store provenance: %d corpus files, %d events, fingerprint %s\n",
 			meta.CorpusFiles, meta.Events, meta.CorpusFingerprint)

@@ -9,6 +9,11 @@
 // Observability: -v additionally logs per-stage timings to stderr, and
 // -metrics-json / -http / -cpuprofile / -memprofile mirror the seldon
 // command's operator surface.
+//
+// Incremental analysis: -cache-dir reuses per-file front-end results
+// across runs (content-addressed, bitwise-identical reports), so
+// repeated checks of a mostly-unchanged tree only re-parse edited
+// files; -cache-clear empties the directory first.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"seldon/internal/core"
+	"seldon/internal/fpcache"
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/spec"
@@ -35,6 +41,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "print witness flow traces and log stages to stderr")
 		dedupe   = flag.Bool("dedupe", false, "collapse reports sharing (source, sink) representations")
 		workers  = flag.Int("workers", 0, "front-end worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
+
+		cacheDir   = flag.String("cache-dir", "", "persistent per-file analysis cache directory (content-addressed; reports are bitwise identical with or without it)")
+		cacheClear = flag.Bool("cache-clear", false, "empty -cache-dir before the run")
 
 		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
 		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof/ on this address during the run (e.g. :8080)")
@@ -116,7 +125,24 @@ func main() {
 		}
 		files[path] = string(data)
 	}
-	fe := core.AnalyzeFiles(files, core.Config{Workers: *workers, Metrics: reg, Log: logger})
+	ccfg := core.Config{Workers: *workers, Metrics: reg, Log: logger}
+	if *cacheDir != "" {
+		cache, err := fpcache.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheClear {
+			if err := cache.Clear(); err != nil {
+				fatal(err)
+			}
+		}
+		ccfg.Cache = cache
+	}
+	fe := core.AnalyzeFiles(files, ccfg)
+	if ccfg.Cache != nil {
+		fmt.Fprintf(os.Stderr, "taintcheck: cache: %d hits, %d misses, %d bytes, saved %s\n",
+			fe.CacheHits, fe.CacheMisses, fe.CacheBytes, fe.CacheSaved.Round(time.Microsecond))
+	}
 	for _, perr := range fe.ParseErrs {
 		fmt.Fprintf(os.Stderr, "taintcheck: %v (continuing with recovered AST)\n", perr)
 	}

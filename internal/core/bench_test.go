@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"seldon/internal/corpus"
+	"seldon/internal/fpcache"
 )
 
 // BenchmarkLearnFromSources measures the full pipeline over a generated
@@ -36,4 +37,37 @@ func BenchmarkAnalyzeFiles(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAnalyzeFilesCache compares the front-end against the
+// persistent analysis cache: cold (every file is a miss and is written
+// back) versus warm (every file is a hit, parse+dataflow skipped). The
+// warm/cold ratio is the incremental win a clean replay gets.
+func BenchmarkAnalyzeFilesCache(b *testing.B) {
+	files := corpus.Generate(corpus.Config{Files: 120}).FileMap()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache, err := fpcache.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			AnalyzeFiles(files, Config{Workers: 4, Cache: cache})
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := fpcache.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		AnalyzeFiles(files, Config{Workers: 4, Cache: cache}) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fe := AnalyzeFiles(files, Config{Workers: 4, Cache: cache})
+			if fe.CacheHits != len(files) {
+				b.Fatalf("warm hits = %d, want %d", fe.CacheHits, len(files))
+			}
+		}
+	})
 }

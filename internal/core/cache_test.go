@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"seldon/internal/constraints"
+	"seldon/internal/corpus"
+	"seldon/internal/fpcache"
+	"seldon/internal/obs"
+	"seldon/internal/spec"
+	"seldon/internal/specio"
+)
+
+func openCache(t *testing.T) *fpcache.Cache {
+	t.Helper()
+	c, err := fpcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// resultFingerprint collapses every semantically observable output of a
+// learning run into comparable bytes: the merged graph (event IDs, reps,
+// positions, edges), the bitwise solver solution, predictions, parse
+// errors, and the merged spec store a run would persist.
+func resultFingerprint(t *testing.T, res *Result, seed *spec.Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Graph.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range res.Solution {
+		fmt.Fprintf(&buf, "%016x\n", math.Float64bits(x))
+	}
+	fmt.Fprintf(&buf, "%+v\n%v\n", res.Predictions, res.ParseErrorFiles)
+	if err := specio.Encode(&buf, res.LearnedSpec(seed), specio.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLearnFromSourcesCacheDeterminism is the tentpole's bitwise
+// guarantee: learn-without-cache, learn-with-cold-cache, and
+// learn-with-warm-cache produce identical results at workers 1 and 4.
+func TestLearnFromSourcesCacheDeterminism(t *testing.T) {
+	files := parallelCorpus()
+	seed := tinySeed()
+	base := LearnFromSources(files, seed, Config{
+		Constraints: constraints.Options{BackoffCutoff: 2}, Workers: 1,
+	})
+	want := resultFingerprint(t, base, seed)
+
+	for _, workers := range []int{1, 4} {
+		cache := openCache(t)
+		for _, phase := range []string{"cold", "warm"} {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, phase), func(t *testing.T) {
+				res := LearnFromSources(files, seed, Config{
+					Constraints: constraints.Options{BackoffCutoff: 2},
+					Workers:     workers, Cache: cache,
+				})
+				if got := resultFingerprint(t, res, seed); !bytes.Equal(got, want) {
+					t.Error("cached result differs from uncached baseline")
+				}
+				wantHits := 0
+				if phase == "warm" {
+					wantHits = len(files)
+				}
+				if res.CacheHits != wantHits || res.CacheHits+res.CacheMisses != len(files) {
+					t.Errorf("hits/misses = %d/%d, want %d/%d",
+						res.CacheHits, res.CacheMisses, wantHits, len(files)-wantHits)
+				}
+				if res.CacheBytes <= 0 {
+					t.Errorf("cache bytes = %d, want > 0", res.CacheBytes)
+				}
+				if phase == "warm" && res.CacheSaved <= 0 {
+					t.Errorf("warm run saved %v, want > 0", res.CacheSaved)
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusEvolution models the deployment loop the cache exists for:
+// a corpus is learned once, one file changes, and the re-learn pays for
+// exactly that file while matching a cold full re-run bit for bit.
+func TestCorpusEvolution(t *testing.T) {
+	files := corpus.Generate(corpus.Config{Files: 24}).FileMap()
+	seed := corpus.ExperimentSeed()
+	cfg := Config{Workers: 4}
+	cfg.Solver.Iterations = 40
+	cache := openCache(t)
+
+	ccfg := cfg
+	ccfg.Cache = cache
+	first := LearnFromSources(files, seed, ccfg)
+	if first.CacheMisses != len(files) || first.CacheHits != 0 {
+		t.Fatalf("cold run: hits/misses = %d/%d, want 0/%d",
+			first.CacheHits, first.CacheMisses, len(files))
+	}
+	replay := LearnFromSources(files, seed, ccfg)
+	if replay.CacheHits != len(files) || replay.CacheMisses != 0 {
+		t.Fatalf("replay: hits/misses = %d/%d, want %d/0",
+			replay.CacheHits, replay.CacheMisses, len(files))
+	}
+
+	// Mutate one file: append a statement that adds events.
+	var mutated string
+	for name := range files {
+		mutated = name
+		break
+	}
+	files[mutated] += "\n\ndef evolved(x):\n    return x\n"
+
+	evolved := LearnFromSources(files, seed, ccfg)
+	if evolved.CacheMisses != 1 || evolved.CacheHits != len(files)-1 {
+		t.Fatalf("after mutation: hits/misses = %d/%d, want %d/1",
+			evolved.CacheHits, evolved.CacheMisses, len(files)-1)
+	}
+
+	cold := LearnFromSources(files, seed, cfg) // no cache at all
+	if !bytes.Equal(resultFingerprint(t, evolved, seed), resultFingerprint(t, cold, seed)) {
+		t.Error("incremental re-learn differs from a cold full re-run")
+	}
+
+	// The mutated file's entry was written back: everything hits now.
+	again := LearnFromSources(files, seed, ccfg)
+	if again.CacheHits != len(files) {
+		t.Errorf("post-evolution replay hits = %d, want %d", again.CacheHits, len(files))
+	}
+}
+
+// TestCorruptedEntryFallsBackToAnalysis damages one on-disk entry and
+// expects a silent re-analysis (one miss), an identical result, and a
+// repaired entry.
+func TestCorruptedEntryFallsBackToAnalysis(t *testing.T) {
+	files := parallelCorpus()
+	cache := openCache(t)
+	cfg := Config{Workers: 2, Cache: cache}
+	base := AnalyzeFiles(files, Config{Workers: 1})
+	AnalyzeFiles(files, cfg) // populate
+
+	paths, err := filepath.Glob(filepath.Join(cache.Dir(), "*.fpc"))
+	if err != nil || len(paths) != len(files) {
+		t.Fatalf("cache entries = %d (err %v), want %d", len(paths), err, len(files))
+	}
+	if err := os.WriteFile(paths[0], []byte("scrambled"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fe := AnalyzeFiles(files, cfg)
+	if fe.CacheMisses != 1 || fe.CacheHits != len(files)-1 {
+		t.Fatalf("hits/misses = %d/%d, want %d/1", fe.CacheHits, fe.CacheMisses, len(files)-1)
+	}
+	if !reflect.DeepEqual(fe.Names, base.Names) {
+		t.Fatalf("names = %v, want %v", fe.Names, base.Names)
+	}
+	for i := range fe.Graphs {
+		if !bytes.Equal(fe.Graphs[i].AppendBinary(nil), base.Graphs[i].AppendBinary(nil)) {
+			t.Errorf("graph %d differs after corruption fallback", i)
+		}
+	}
+	if !reflect.DeepEqual(fe.ParseErrorFiles, base.ParseErrorFiles) {
+		t.Errorf("parse-error files = %v, want %v", fe.ParseErrorFiles, base.ParseErrorFiles)
+	}
+
+	repaired := AnalyzeFiles(files, cfg)
+	if repaired.CacheMisses != 0 {
+		t.Errorf("after repair: %d misses, want 0", repaired.CacheMisses)
+	}
+}
+
+// TestAnalyzeFilesCacheTelemetry checks the cache.* metric names land in
+// the registry with consistent values.
+func TestAnalyzeFilesCacheTelemetry(t *testing.T) {
+	files := parallelCorpus()
+	cache := openCache(t)
+	reg := obs.New()
+	AnalyzeFiles(files, Config{Workers: 2, Cache: cache, Metrics: reg})
+	warmReg := obs.New()
+	fe := AnalyzeFiles(files, Config{Workers: 2, Cache: cache, Metrics: warmReg})
+
+	cold := reg.Snapshot()
+	if cold.Counters[obs.CounterCacheMisses] != int64(len(files)) ||
+		cold.Counters[obs.CounterCacheHits] != 0 {
+		t.Errorf("cold counters = %v", cold.Counters)
+	}
+	warm := warmReg.Snapshot()
+	if warm.Counters[obs.CounterCacheHits] != int64(len(files)) ||
+		warm.Counters[obs.CounterCacheMisses] != 0 {
+		t.Errorf("warm counters = %v", warm.Counters)
+	}
+	if warm.Counters[obs.CounterCacheBytes] != fe.CacheBytes || fe.CacheBytes <= 0 {
+		t.Errorf("%s = %d, want %d > 0", obs.CounterCacheBytes,
+			warm.Counters[obs.CounterCacheBytes], fe.CacheBytes)
+	}
+	if warm.Timers[obs.StageCache].Count != 1 {
+		t.Errorf("%s count = %d, want 1", obs.StageCache, warm.Timers[obs.StageCache].Count)
+	}
+	if _, ok := warm.Gauges[obs.GaugeCacheSpeedup]; !ok {
+		t.Errorf("%s gauge missing", obs.GaugeCacheSpeedup)
+	}
+	// Warm hits skip parse+dataflow entirely: the per-file timers must
+	// record zero observations.
+	if warm.Timers[obs.FileParse].Count != 0 {
+		t.Errorf("warm %s count = %d, want 0", obs.FileParse, warm.Timers[obs.FileParse].Count)
+	}
+	if fe.CacheSpeedup() < 1 {
+		t.Errorf("warm CacheSpeedup = %v, want >= 1", fe.CacheSpeedup())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"seldon/internal/dataflow"
+	"seldon/internal/fpcache"
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
 	"seldon/internal/pyparse"
@@ -35,12 +37,23 @@ type FrontEnd struct {
 	ParseErrs       []error
 	// ParseTotal and AnalyzeTotal sum the per-file stage times (CPU time,
 	// comparable across worker counts); Wall is the elapsed time of the
-	// whole front-end section.
+	// whole front-end section. Files served from the cache contribute
+	// nothing to either total — their parse and dataflow never ran.
 	ParseTotal   time.Duration
 	AnalyzeTotal time.Duration
 	Wall         time.Duration
 	// Workers is the pool size actually used.
 	Workers int
+
+	// Cache activity for this run (all zero when Config.Cache is nil).
+	// CacheBytes totals bytes read on hits plus written on misses;
+	// CacheSaved sums the recorded analysis cost the hits avoided;
+	// CacheWall is the time spent in cache lookups and write-backs.
+	CacheHits   int
+	CacheMisses int
+	CacheBytes  int64
+	CacheSaved  time.Duration
+	CacheWall   time.Duration
 }
 
 // fileOutcome is one worker's result for one file.
@@ -49,6 +62,11 @@ type fileOutcome struct {
 	err     error
 	parse   time.Duration
 	analyze time.Duration
+
+	hit        bool          // served from the cache
+	saved      time.Duration // recorded cost a hit avoided
+	cacheBytes int64         // entry bytes read (hit) or written (miss)
+	cacheWall  time.Duration // time spent in Get/Put for this file
 }
 
 // workerCount resolves Config.Workers: 0 selects GOMAXPROCS, 1 is the
@@ -89,18 +107,54 @@ func AnalyzeFiles(files map[string]string, cfg Config) *FrontEnd {
 	outcomes := make([]fileOutcome, len(names))
 	process := func(i int) {
 		name := names[i]
+		var o fileOutcome
+		if cfg.Cache != nil {
+			t0 := time.Now()
+			ent, ok := cfg.Cache.Get(name, files[name])
+			o.cacheWall = time.Since(t0)
+			if ok {
+				o.hit = true
+				o.graph = ent.Graph
+				o.saved = ent.Cost
+				o.cacheBytes = ent.Size
+				if ent.ParseError != "" {
+					o.err = errors.New(ent.ParseError)
+					cfg.Metrics.Add(obs.CounterParseErrors, 1)
+				}
+				outcomes[i] = o
+				return
+			}
+		}
 		t0 := time.Now()
 		mod, err := pyparse.Parse(name, files[name])
-		pd := time.Since(t0)
-		cfg.Metrics.ObserveDuration(obs.FileParse, pd)
+		o.parse = time.Since(t0)
+		o.err = err
+		cfg.Metrics.ObserveDuration(obs.FileParse, o.parse)
 		if err != nil {
 			cfg.Metrics.Add(obs.CounterParseErrors, 1)
 		}
 		t0 = time.Now()
-		g := dataflow.AnalyzeModule(mod, dopts)
-		ad := time.Since(t0)
-		cfg.Metrics.ObserveDuration(obs.FileAnalyze, ad)
-		outcomes[i] = fileOutcome{graph: g, err: err, parse: pd, analyze: ad}
+		o.graph = dataflow.AnalyzeModule(mod, dopts)
+		o.analyze = time.Since(t0)
+		cfg.Metrics.ObserveDuration(obs.FileAnalyze, o.analyze)
+		if cfg.Cache != nil {
+			t0 = time.Now()
+			perr := ""
+			if err != nil {
+				perr = err.Error()
+			}
+			written, werr := cfg.Cache.Put(name, files[name], &fpcache.Entry{
+				Graph: o.graph, ParseError: perr, Cost: o.parse + o.analyze,
+			})
+			o.cacheWall += time.Since(t0)
+			if werr != nil {
+				// A failed write-back costs the next run a re-analysis,
+				// nothing more; this run's result is already in hand.
+				cfg.Log.Log("cache.put.error", "file", name, "err", werr)
+			}
+			o.cacheBytes += written
+		}
+		outcomes[i] = o
 	}
 
 	t0 := time.Now()
@@ -135,6 +189,12 @@ func AnalyzeFiles(files map[string]string, cfg Config) *FrontEnd {
 		fe.Graphs[i] = o.graph
 		fe.ParseTotal += o.parse
 		fe.AnalyzeTotal += o.analyze
+		if o.hit {
+			fe.CacheHits++
+		}
+		fe.CacheSaved += o.saved
+		fe.CacheBytes += o.cacheBytes
+		fe.CacheWall += o.cacheWall
 		if o.err != nil {
 			fe.ParseErrorFiles = append(fe.ParseErrorFiles, names[i])
 			fe.ParseErrs = append(fe.ParseErrs, o.err)
@@ -153,7 +213,30 @@ func AnalyzeFiles(files map[string]string, cfg Config) *FrontEnd {
 	cfg.Log.Log(obs.StageDataflow, "dur", fe.AnalyzeTotal.Round(time.Microsecond))
 	cfg.Log.Log(obs.StageFrontend, "workers", fe.Workers,
 		"wall", fe.Wall.Round(time.Microsecond), "speedup", fe.Speedup())
+	if cfg.Cache != nil {
+		fe.CacheMisses = len(names) - fe.CacheHits
+		cfg.Metrics.Add(obs.CounterCacheHits, int64(fe.CacheHits))
+		cfg.Metrics.Add(obs.CounterCacheMisses, int64(fe.CacheMisses))
+		cfg.Metrics.Add(obs.CounterCacheBytes, fe.CacheBytes)
+		cfg.Metrics.ObserveDuration(obs.StageCache, fe.CacheWall)
+		cfg.Metrics.Set(obs.GaugeCacheSaved, fe.CacheSaved.Seconds())
+		cfg.Metrics.Set(obs.GaugeCacheSpeedup, fe.CacheSpeedup())
+		cfg.Log.Log(obs.StageCache, "hits", fe.CacheHits, "misses", fe.CacheMisses,
+			"bytes", fe.CacheBytes, "saved", fe.CacheSaved.Round(time.Microsecond),
+			"dur", fe.CacheWall.Round(time.Microsecond))
+	}
 	return fe
+}
+
+// CacheSpeedup estimates the warm-run win: how much longer the front-end
+// wall would have been had the cache hits been analyzed instead —
+// (wall + saved) / wall. It is 1 on a fully cold run and grows with the
+// hit rate; 0 when the wall is unmeasured.
+func (fe *FrontEnd) CacheSpeedup() float64 {
+	if fe.Wall <= 0 {
+		return 0
+	}
+	return float64(fe.Wall+fe.CacheSaved) / float64(fe.Wall)
 }
 
 // Speedup reports the effective front-end parallelism: per-file CPU time

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"seldon/internal/constraints"
+	"seldon/internal/fpcache"
 	"seldon/internal/lp"
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
@@ -32,6 +33,11 @@ type Config struct {
 	// keeps the sequential path. Results are byte-identical at every
 	// worker count (see AnalyzeFiles).
 	Workers int
+	// Cache, when non-nil, is the persistent per-file analysis cache
+	// (internal/fpcache): each front-end worker consults it before
+	// parse+dataflow and writes back on miss. Results are byte-identical
+	// with or without it, from any mix of hits and misses.
+	Cache *fpcache.Cache
 	// Metrics, when non-nil, receives stage timers, per-file timings,
 	// parse-error counters, and the solver convergence trace. Nil keeps
 	// the pipeline on its telemetry-free fast path.
@@ -89,6 +95,12 @@ type Result struct {
 	// FrontendWall < parse+dataflow signals effective parallelism.
 	FrontendWall time.Duration
 	Workers      int
+	// Cache activity of the front-end (all zero without Config.Cache);
+	// see FrontEnd for the field semantics.
+	CacheHits   int
+	CacheMisses int
+	CacheBytes  int64
+	CacheSaved  time.Duration
 
 	// Predictions lists every selected (event, role), event-ID order.
 	Predictions []Prediction
@@ -185,6 +197,9 @@ func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Res
 		{Name: obs.StageParse, Duration: fe.ParseTotal},
 		{Name: obs.StageDataflow, Duration: fe.AnalyzeTotal},
 	}
+	if cfg.Cache != nil {
+		pre = append(pre, StageTiming{Name: obs.StageCache, Duration: fe.CacheWall})
+	}
 	t0 := time.Now()
 	union := propgraph.Union(fe.Graphs...)
 	unionD := time.Since(t0)
@@ -198,6 +213,10 @@ func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Res
 	res.ParseErrorFiles = fe.ParseErrorFiles
 	res.FrontendWall = fe.Wall
 	res.Workers = fe.Workers
+	res.CacheHits = fe.CacheHits
+	res.CacheMisses = fe.CacheMisses
+	res.CacheBytes = fe.CacheBytes
+	res.CacheSaved = fe.CacheSaved
 	return res
 }
 

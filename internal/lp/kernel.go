@@ -34,8 +34,8 @@ const kernelChunk = 2048
 
 // kernel is the compiled form of a Problem.
 type kernel struct {
-	nVars int
-	nCons int
+	nVars  int
+	nCons  int
 	c      float64
 	lambda float64
 

@@ -45,6 +45,19 @@ const (
 	CounterParseErrors   = "parse.errors"
 	CounterFilesAnalyzed = "files.analyzed"
 
+	// Incremental front-end cache (internal/fpcache). stage.cache is the
+	// summed time spent in cache lookups and write-backs; cache.bytes
+	// totals bytes read on hits plus bytes written on misses.
+	StageCache         = "stage.cache"
+	CounterCacheHits   = "cache.hits"
+	CounterCacheMisses = "cache.misses"
+	CounterCacheBytes  = "cache.bytes"
+	// GaugeCacheSaved is the recorded parse+dataflow cost the hits
+	// avoided, in seconds; GaugeCacheSpeedup is the estimated warm-run
+	// front-end speedup, (wall + saved) / wall.
+	GaugeCacheSaved   = "cache.saved_s"
+	GaugeCacheSpeedup = "cache.speedup"
+
 	// The solver convergence trace (one point per epoch).
 	TraceSolver = "solver.convergence"
 )

@@ -1,0 +1,239 @@
+package propgraph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"seldon/internal/pytoken"
+)
+
+// The binary codec is the persistence format of the incremental
+// front-end (internal/fpcache): a compact, self-delimiting encoding of a
+// propagation graph whose bytes are a pure function of the graph — no
+// map is iterated unordered, so identical graphs always encode to
+// identical bytes and can be content-addressed. It captures everything
+// AnalyzeModule produces: events (kind, file, position, representations,
+// candidate roles), the successor adjacency in insertion order, and the
+// argument-position edge labels in packed-key order.
+//
+// Predecessor lists are not stored: they are rebuilt in ascending-source
+// order on decode, the same normal form propgraph.Union re-establishes
+// for every downstream consumer, so a decoded graph is indistinguishable
+// from a fresh one after the union every pipeline takes.
+
+const (
+	binaryTag     = 0x47 // 'G', leading byte of a graph section
+	binaryVersion = 1
+)
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBinary appends the graph's binary encoding to dst and returns
+// the extended slice. The encoding is deterministic and self-delimiting
+// (DecodeBinary knows where it ends).
+func (g *Graph) AppendBinary(dst []byte) []byte {
+	dst = append(dst, binaryTag, binaryVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(g.Events)))
+	for _, e := range g.Events {
+		dst = binary.AppendUvarint(dst, uint64(e.Kind))
+		dst = appendString(dst, e.File)
+		dst = binary.AppendVarint(dst, int64(e.Pos.Line))
+		dst = binary.AppendVarint(dst, int64(e.Pos.Col))
+		dst = binary.AppendUvarint(dst, uint64(len(e.Reps)))
+		for _, r := range e.Reps {
+			dst = appendString(dst, r)
+		}
+		dst = append(dst, byte(e.Roles))
+	}
+	for src := range g.Events {
+		ss := g.succs[src]
+		dst = binary.AppendUvarint(dst, uint64(len(ss)))
+		for _, d := range ss {
+			dst = binary.AppendUvarint(dst, uint64(d))
+		}
+	}
+	keys := make([]int64, 0, len(g.edgeArgs))
+	for k := range g.edgeArgs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		args := g.edgeArgs[k]
+		dst = binary.AppendUvarint(dst, uint64(k>>32))
+		dst = binary.AppendUvarint(dst, uint64(uint32(k)))
+		dst = binary.AppendUvarint(dst, uint64(len(args)))
+		for _, a := range args {
+			dst = binary.AppendVarint(dst, int64(a))
+		}
+	}
+	return dst
+}
+
+// binReader is a cursor over an encoded graph; the first failed read
+// latches err and turns every later read into a no-op returning zero.
+type binReader struct {
+	data []byte
+	err  error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("propgraph: binary: "+format, args...)
+	}
+}
+
+func (r *binReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) == 0 {
+		r.fail("truncated input")
+		return 0
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *binReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)) {
+		r.fail("string length %d exceeds remaining %d bytes", n, len(r.data))
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+// count validates an element count against the bytes that remain, so a
+// corrupted length cannot drive allocation beyond the input size (every
+// element costs at least one byte).
+func (r *binReader) count(what string) int {
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(r.data)) {
+		r.fail("%s count %d exceeds remaining %d bytes", what, n, len(r.data))
+	}
+	if r.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+// DecodeBinary decodes a graph encoded by AppendBinary from the front of
+// data, returning the graph and the unconsumed remainder. Malformed
+// input — truncation, version mismatch, out-of-range edges — yields an
+// error, never a partial graph.
+func DecodeBinary(data []byte) (*Graph, []byte, error) {
+	r := &binReader{data: data}
+	if tag := r.byte(); r.err == nil && tag != binaryTag {
+		return nil, nil, fmt.Errorf("propgraph: binary: bad tag 0x%02x", tag)
+	}
+	if v := r.byte(); r.err == nil && v != binaryVersion {
+		return nil, nil, fmt.Errorf("propgraph: binary: unsupported version %d", v)
+	}
+
+	numEvents := r.count("event")
+	g := &Graph{
+		Events: make([]*Event, 0, numEvents),
+		succs:  make([][]int, numEvents),
+		preds:  make([][]int, numEvents),
+	}
+	for i := 0; i < numEvents && r.err == nil; i++ {
+		kind := r.uvarint()
+		if r.err == nil && kind > uint64(KindParam) {
+			r.fail("event %d: bad kind %d", i, kind)
+		}
+		e := &Event{
+			ID:   i,
+			Kind: EventKind(kind),
+			File: r.string(),
+			Pos:  pytoken.Pos{Line: int(r.varint()), Col: int(r.varint())},
+		}
+		if nreps := r.count("rep"); nreps > 0 {
+			e.Reps = make([]string, nreps)
+			for j := range e.Reps {
+				e.Reps[j] = r.string()
+			}
+		}
+		e.Roles = RoleSet(r.byte())
+		g.Events = append(g.Events, e)
+	}
+
+	// Successors in stored (insertion) order; predecessors rebuilt in
+	// ascending-source order, Union's normal form.
+	for src := 0; src < numEvents && r.err == nil; src++ {
+		if n := r.count("edge"); n > 0 {
+			ss := make([]int, n)
+			for j := range ss {
+				dst := r.uvarint()
+				if r.err == nil && (dst >= uint64(numEvents) || int(dst) == src) {
+					r.fail("edge %d->%d out of range", src, dst)
+				}
+				ss[j] = int(dst)
+			}
+			g.succs[src] = ss
+			for _, dst := range ss {
+				if r.err == nil {
+					g.preds[dst] = append(g.preds[dst], src)
+				}
+			}
+		}
+	}
+
+	if nargs := r.count("edge-arg"); nargs > 0 {
+		g.edgeArgs = make(map[int64][]int, nargs)
+		for i := 0; i < nargs && r.err == nil; i++ {
+			src, dst := r.uvarint(), r.uvarint()
+			if r.err == nil && (src >= uint64(numEvents) || dst >= uint64(numEvents)) {
+				r.fail("edge-arg %d->%d out of range", src, dst)
+			}
+			n := r.count("arg")
+			args := make([]int, n)
+			for j := range args {
+				args[j] = int(r.varint())
+			}
+			if r.err == nil {
+				g.edgeArgs[edgeKey(int(src), int(dst))] = args
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return g, r.data, nil
+}

@@ -1,0 +1,105 @@
+package propgraph
+
+import (
+	"bytes"
+	"testing"
+
+	"seldon/internal/pytoken"
+)
+
+// binaryTestGraph builds a graph exercising every encoded feature:
+// multiple kinds, positions, backoff rep lists, role sets, edge
+// insertion order, and argument labels (including the receiver/keyword
+// sentinels).
+func binaryTestGraph() *Graph {
+	g := New()
+	a := g.AddEvent(KindCall, "app.py", pytoken.Pos{Line: 3, Col: 4},
+		[]string{"flask.request.args.get()", "request.args.get()", "args.get()"})
+	b := g.AddEvent(KindRead, "app.py", pytoken.Pos{Line: 5, Col: 0},
+		[]string{"flask.request.form"})
+	c := g.AddEvent(KindParam, "app.py", pytoken.Pos{Line: 1, Col: 8}, []string{"handler:q"})
+	d := g.AddEvent(KindCall, "app.py", pytoken.Pos{Line: 9, Col: 2}, []string{"os.system()"})
+	_ = c
+	// Deliberately non-ascending insertion order on d's predecessors.
+	g.AddEdgeArg(b.ID, d.ID, 1)
+	g.AddEdgeArg(a.ID, d.ID, 0)
+	g.AddEdgeArg(a.ID, d.ID, ArgReceiver)
+	g.AddEdge(c.ID, b.ID)
+	g.Events[b.ID].Roles = SourceOnly
+	return g
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := binaryTestGraph()
+	enc := g.AppendBinary(nil)
+	got, rest, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode left %d unconsumed bytes", len(rest))
+	}
+
+	// The decoded graph must re-encode to the same bytes...
+	if !bytes.Equal(got.AppendBinary(nil), enc) {
+		t.Error("re-encode differs from original encoding")
+	}
+	// ...and agree with the JSON codec, which covers events, succ order,
+	// and edge labels.
+	var a, b bytes.Buffer
+	if err := g.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("JSON of decoded graph differs:\n got %s\nwant %s", b.String(), a.String())
+	}
+	// Edge labels survive, sorted as AddEdgeArg keeps them.
+	if args := got.EdgeArgs(0, 3); len(args) != 2 || args[0] != ArgReceiver || args[1] != 0 {
+		t.Errorf("EdgeArgs(0,3) = %v", args)
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	g := binaryTestGraph()
+	first := g.AppendBinary(nil)
+	for i := 0; i < 16; i++ {
+		if !bytes.Equal(g.AppendBinary(nil), first) {
+			t.Fatalf("encoding %d differs from the first", i)
+		}
+	}
+}
+
+func TestBinaryEmptyGraphAndRest(t *testing.T) {
+	enc := New().AppendBinary(nil)
+	trailer := []byte("tail")
+	g, rest, err := DecodeBinary(append(enc, trailer...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Events) != 0 || g.NumEdges() != 0 {
+		t.Errorf("decoded empty graph has %d events, %d edges", len(g.Events), g.NumEdges())
+	}
+	if !bytes.Equal(rest, trailer) {
+		t.Errorf("rest = %q, want %q", rest, trailer)
+	}
+}
+
+func TestBinaryRejectsMalformedInput(t *testing.T) {
+	enc := binaryTestGraph().AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad tag":     append([]byte{0x00}, enc[1:]...),
+		"bad version": append([]byte{binaryTag, 99}, enc[2:]...),
+		"truncated":   enc[:len(enc)/2],
+		"giant event count": append([]byte{binaryTag, binaryVersion,
+			0xff, 0xff, 0xff, 0xff, 0x0f}, enc[3:]...),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeBinary(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}

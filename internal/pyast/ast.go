@@ -468,10 +468,10 @@ type NamedExpr struct {
 	Value  Expr
 }
 
-func (e *Name) Pos() pytoken.Pos      { return e.NamePos }
-func (e *Num) Pos() pytoken.Pos       { return e.NumPos }
-func (e *Str) Pos() pytoken.Pos       { return e.StrPos }
-func (e *JoinedStr) Pos() pytoken.Pos { return e.StrPos }
+func (e *Name) Pos() pytoken.Pos        { return e.NamePos }
+func (e *Num) Pos() pytoken.Pos         { return e.NumPos }
+func (e *Str) Pos() pytoken.Pos         { return e.StrPos }
+func (e *JoinedStr) Pos() pytoken.Pos   { return e.StrPos }
 func (e *NameConst) Pos() pytoken.Pos   { return e.ConstPos }
 func (e *EllipsisLit) Pos() pytoken.Pos { return e.DotsPos }
 func (e *Attribute) Pos() pytoken.Pos   { return e.Value.Pos() }
@@ -494,10 +494,10 @@ func (e *Await) Pos() pytoken.Pos       { return e.AwaitPos }
 func (e *Yield) Pos() pytoken.Pos       { return e.YieldPos }
 func (e *NamedExpr) Pos() pytoken.Pos   { return e.Target.Pos() }
 
-func (*Name) exprNode()      {}
-func (*Num) exprNode()       {}
-func (*Str) exprNode()       {}
-func (*JoinedStr) exprNode() {}
+func (*Name) exprNode()        {}
+func (*Num) exprNode()         {}
+func (*Str) exprNode()         {}
+func (*JoinedStr) exprNode()   {}
 func (*NameConst) exprNode()   {}
 func (*EllipsisLit) exprNode() {}
 func (*Attribute) exprNode()   {}

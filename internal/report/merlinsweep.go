@@ -93,4 +93,3 @@ func (m MerlinSweep) Render() string {
 	}
 	return tb.String()
 }
-

@@ -120,13 +120,15 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // corpus front-end (Workers: 1 — request-level parallelism comes from
 // the handler pool), union, then the taint analyzer. It is the same
 // code path cmd/taintcheck runs, so findings match the CLI byte for
-// byte on the same input.
+// byte on the same input. The store snapshot is taken once here, so a
+// concurrent reload never changes the spec mid-check.
 func (s *Server) check(name, source string, withTrace, dedupe bool) *CheckResponse {
+	st := s.currentStore()
 	span := s.cfg.Metrics.Start(TimerAnalyze)
 	fe := core.AnalyzeFiles(map[string]string{name: source},
 		core.Config{Workers: 1, Metrics: s.cfg.Metrics})
 	union := propgraph.Union(fe.Graphs...)
-	reports := taint.Analyze(union, s.cfg.Spec)
+	reports := taint.Analyze(union, st.spec)
 	if dedupe {
 		reports = taint.Dedupe(reports)
 	}
@@ -206,7 +208,8 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 
-	resp := &SpecsResponse{Schema: specio.SchemaVersion, Meta: s.cfg.Meta, Entries: []SpecEntry{}}
+	st := s.currentStore()
+	resp := &SpecsResponse{Schema: specio.SchemaVersion, Meta: st.meta, Entries: []SpecEntry{}}
 	add := func(role string, reps []string) {
 		if roleFilter != "" && roleFilter != role {
 			return
@@ -217,43 +220,119 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 			}
 			e := SpecEntry{Role: role, Rep: rep}
 			if role == "sink" {
-				e.Args = s.cfg.Spec.SinkArgsOf(rep)
+				e.Args = st.spec.SinkArgsOf(rep)
 			}
 			resp.Entries = append(resp.Entries, e)
 		}
 	}
-	add("source", s.cfg.Spec.Sources)
-	add("sanitizer", s.cfg.Spec.Sanitizers)
-	add("sink", s.cfg.Spec.Sinks)
+	add("source", st.spec.Sources)
+	add("sanitizer", st.spec.Sanitizers)
+	add("sink", st.spec.Sinks)
 	resp.Count = len(resp.Entries)
 	if limit > 0 && len(resp.Entries) > limit {
 		resp.Entries = resp.Entries[:limit]
 	}
 	if roleFilter == "" && q == "" {
-		for _, p := range s.cfg.Spec.Blacklist {
+		for _, p := range st.spec.Blacklist {
 			resp.Blacklist = append(resp.Blacklist, p.String())
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// HealthResponse is the /v1/healthz response body.
+// HealthResponse is the /v1/healthz response body: liveness plus the
+// identity of the store currently serving — its fingerprint, schema,
+// and the seed-vs-learned split recorded in its provenance.
 type HealthResponse struct {
-	Status   string  `json:"status"`
-	Specs    int     `json:"specs"`
-	Inflight int64   `json:"inflight"`
-	UptimeS  float64 `json:"uptime_s"`
+	Status string `json:"status"`
+	Specs  int    `json:"specs"`
+	// StoreFingerprint identifies the active store generation (changes
+	// on every effective reload); Schema is the store schema version.
+	StoreFingerprint string `json:"store_fingerprint"`
+	Schema           int    `json:"schema"`
+	// SeedEntries/LearnedEntries split Specs by provenance, as recorded
+	// in the store's metadata (0/0 for stores without provenance).
+	SeedEntries    int     `json:"seed_entries"`
+	LearnedEntries int     `json:"learned_entries"`
+	Reloads        int64   `json:"reloads"`
+	Inflight       int64   `json:"inflight"`
+	UptimeS        float64 `json:"uptime_s"`
 }
 
 // handleHealthz implements GET /v1/healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.cfg.Metrics.Add(CounterRequests, 1)
 	s.cfg.Metrics.Add(CounterRequests+".healthz", 1)
+	st := s.currentStore()
 	s.writeJSON(w, http.StatusOK, &HealthResponse{
-		Status:   "ok",
-		Specs:    s.cfg.Spec.Len(),
-		Inflight: s.inflight.Load(),
-		UptimeS:  time.Since(s.start).Seconds(),
+		Status:           "ok",
+		Specs:            st.spec.Len(),
+		StoreFingerprint: st.fingerprint,
+		Schema:           specio.SchemaVersion,
+		SeedEntries:      st.meta.SeedEntries,
+		LearnedEntries:   st.meta.LearnedEntries,
+		Reloads:          s.reloads.Load(),
+		Inflight:         s.inflight.Load(),
+		UptimeS:          time.Since(s.start).Seconds(),
+	})
+}
+
+// ReloadResponse is the /v1/reload response body.
+type ReloadResponse struct {
+	Status           string `json:"status"` // "reloaded" or "unchanged"
+	StoreFingerprint string `json:"store_fingerprint"`
+	Specs            int    `json:"specs"`
+	SeedEntries      int    `json:"seed_entries"`
+	LearnedEntries   int    `json:"learned_entries"`
+}
+
+// handleReload implements POST /v1/reload: re-read Config.StorePath,
+// validate it (schema check, unknown-field rejection — specio.Load),
+// and swap the new store in under the write lock. In-flight checks keep
+// the snapshot they admitted with; a load or validation failure answers
+// 422 and leaves the previous store serving untouched.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, "reload", http.StatusMethodNotAllowed, "POST to reload the spec store")
+		return
+	}
+	s.cfg.Metrics.Add(CounterRequests, 1)
+	s.cfg.Metrics.Add(CounterRequests+".reload", 1)
+
+	if s.cfg.StorePath == "" {
+		s.fail(w, "reload", http.StatusConflict,
+			"server was not started from a store file; nothing to reload")
+		return
+	}
+	sp, meta, err := specio.Load(s.cfg.StorePath)
+	if err != nil {
+		s.cfg.Metrics.Add(CounterReloadErrors, 1)
+		s.fail(w, "reload", http.StatusUnprocessableEntity,
+			"store rejected, previous specs still serving: "+err.Error())
+		return
+	}
+	fp, err := specio.FingerprintStore(sp, meta)
+	if err != nil {
+		s.cfg.Metrics.Add(CounterReloadErrors, 1)
+		s.fail(w, "reload", http.StatusUnprocessableEntity,
+			"store rejected, previous specs still serving: "+err.Error())
+		return
+	}
+
+	status := "reloaded"
+	if prev := s.currentStore(); prev.fingerprint == fp {
+		status = "unchanged" // still republished: loadedAt advances
+	}
+	s.swapStore(storeState{spec: sp, meta: meta, fingerprint: fp, loadedAt: time.Now()})
+	s.cfg.Log.Log("store.reload", "path", s.cfg.StorePath,
+		"fingerprint", fp, "specs", sp.Len(), "status", status)
+	s.writeJSON(w, http.StatusOK, &ReloadResponse{
+		Status:           status,
+		StoreFingerprint: fp,
+		Specs:            sp.Len(),
+		SeedEntries:      meta.SeedEntries,
+		LearnedEntries:   meta.LearnedEntries,
 	})
 }
 

@@ -9,13 +9,20 @@
 //
 //	POST /v1/check    Python source in the body → taint findings as JSON
 //	GET  /v1/specs    filtered specification lookup
-//	GET  /v1/healthz  liveness + store summary
+//	GET  /v1/healthz  liveness + store summary + active store fingerprint
+//	POST /v1/reload   re-read the spec store and swap it in atomically
 //
 // The server is built for sustained traffic: analysis runs on a bounded
 // worker pool (Config.Workers, core.Config.Workers semantics), requests
 // beyond the pool wait in a bounded queue and overflow is rejected with
 // 429, request bodies are size-capped (413), every check carries a
 // context deadline, and Run drains in-flight requests on shutdown.
+//
+// Hot reload: the loaded specification lives behind a read-write lock.
+// Each check snapshots the store once at admission and runs entirely
+// against that snapshot, so /v1/reload swaps specs without dropping or
+// mixing in-flight checks; a reload that fails to load or validate
+// leaves the previous store serving.
 package service
 
 import (
@@ -24,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +60,13 @@ const (
 	// slot; GaugeQueued counts requests admitted but waiting for one.
 	GaugeInflight = "http.inflight"
 	GaugeQueued   = "http.queued"
+	// CounterReloads counts successful /v1/reload swaps;
+	// CounterReloadErrors counts rejected ones (store unreadable or
+	// invalid — the old specs kept serving). GaugeStoreSpecs is the
+	// entry count of the store currently serving.
+	CounterReloads      = "store.reloads"
+	CounterReloadErrors = "store.reload.errors"
+	GaugeStoreSpecs     = "store.specs"
 )
 
 // Config parametrizes a Server. The zero value of every field selects a
@@ -61,6 +76,10 @@ type Config struct {
 	// provenance block, echoed by /v1/specs and /v1/healthz.
 	Spec *spec.Spec
 	Meta specio.Meta
+	// StorePath, when non-empty, is the file Spec was loaded from;
+	// POST /v1/reload re-reads it and swaps the result in atomically.
+	// Without it the reload endpoint answers 409.
+	StorePath string
 
 	// Workers bounds concurrently running checks, with core.Config.Workers
 	// semantics: 0 selects runtime.GOMAXPROCS(0), 1 serializes.
@@ -105,10 +124,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server answers taint-check traffic against a fixed specification.
+// storeState is one immutable generation of the serving specification.
+// A reload replaces the whole value; nothing inside it is ever mutated
+// after publication, so a snapshot taken under the read lock stays
+// valid for the lifetime of the request using it.
+type storeState struct {
+	spec        *spec.Spec
+	meta        specio.Meta
+	fingerprint string
+	loadedAt    time.Time
+}
+
+// Server answers taint-check traffic against a hot-swappable
+// specification store.
 type Server struct {
 	cfg   Config
 	start time.Time
+
+	// storeMu guards store, the active specification generation;
+	// reloads counts successful swaps (including none).
+	storeMu sync.RWMutex
+	store   storeState
+	reloads atomic.Int64
 
 	// sem holds one token per running check; admitted counts every
 	// request between admission control and completion (running +
@@ -125,20 +162,50 @@ type Server struct {
 // New builds a Server from cfg. cfg.Spec must be non-nil.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	fp, err := specio.FingerprintStore(cfg.Spec, cfg.Meta)
+	if err != nil {
+		fp = "" // unfingerprintable store still serves
+	}
+	s := &Server{
 		cfg:   cfg,
 		start: time.Now(),
 		sem:   make(chan struct{}, cfg.Workers),
+		store: storeState{
+			spec: cfg.Spec, meta: cfg.Meta, fingerprint: fp, loadedAt: time.Now(),
+		},
 	}
+	cfg.Metrics.Set(GaugeStoreSpecs, float64(cfg.Spec.Len()))
+	return s
 }
 
-// Handler returns the full mux: the three /v1/ endpoints plus the
-// operator surface (/metrics, /metrics.txt, /debug/pprof/).
+// currentStore snapshots the active specification generation. Callers
+// hold the snapshot for their whole request so one check never sees two
+// stores.
+func (s *Server) currentStore() storeState {
+	s.storeMu.RLock()
+	st := s.store
+	s.storeMu.RUnlock()
+	return st
+}
+
+// swapStore publishes a new specification generation atomically.
+func (s *Server) swapStore(st storeState) {
+	s.storeMu.Lock()
+	s.store = st
+	s.storeMu.Unlock()
+	s.reloads.Add(1)
+	s.cfg.Metrics.Add(CounterReloads, 1)
+	s.cfg.Metrics.Set(GaugeStoreSpecs, float64(st.spec.Len()))
+}
+
+// Handler returns the full mux: the /v1/ endpoints plus the operator
+// surface (/metrics, /metrics.txt, /debug/pprof/).
 func (s *Server) Handler() http.Handler {
 	mux := obs.NewServeMux(s.cfg.Metrics)
 	mux.HandleFunc("/v1/check", s.handleCheck)
 	mux.HandleFunc("/v1/specs", s.handleSpecs)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/reload", s.handleReload)
 	return mux
 }
 
@@ -197,9 +264,10 @@ func (s *Server) Start(addr string) (*http.Server, <-chan error, error) {
 		}
 		close(errc)
 	}()
+	st := s.currentStore()
 	s.cfg.Log.Log("service.listen", "addr", srv.Addr,
 		"workers", s.cfg.Workers, "queue", s.cfg.QueueDepth,
-		"specs", s.cfg.Spec.Len())
+		"specs", st.spec.Len(), "store", st.fingerprint)
 	if s.cfg.OnReady != nil {
 		s.cfg.OnReady(srv.Addr)
 	}

@@ -146,6 +146,20 @@ func Load(path string) (*spec.Spec, Meta, error) {
 	return Decode(f)
 }
 
+// FingerprintStore returns the stable identity of a specification
+// store: sha256 over its canonical encoding. Encode is byte-stable, so
+// two stores with the same entries, metadata, and order always share a
+// fingerprint — the serving layer uses it to tell whether a reload
+// actually changed anything.
+func FingerprintStore(s *spec.Spec, meta Meta) (string, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, meta); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return fmt.Sprintf("sha256:%x", sum[:]), nil
+}
+
 // Fingerprint hashes a corpus (name → source) into a stable identifier:
 // sha256 over length-prefixed (name, content) pairs in sorted name
 // order, so the result is independent of map iteration order.

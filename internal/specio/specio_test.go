@@ -193,3 +193,30 @@ func TestEqualDetectsDifferences(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprintStore(t *testing.T) {
+	s := sampleSpec()
+	meta := Meta{Generator: "seldon", SeedEntries: 2}
+	fp, err := FingerprintStore(s, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(fp, "sha256:") {
+		t.Errorf("fingerprint = %q, want sha256: prefix", fp)
+	}
+	again, err := FingerprintStore(sampleSpec(), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fp {
+		t.Error("fingerprint is not stable across identical stores")
+	}
+	changed := sampleSpec()
+	changed.Add(propgraph.Source, "extra.source()")
+	if cfp, _ := FingerprintStore(changed, meta); cfp == fp {
+		t.Error("fingerprint ignores spec entries")
+	}
+	if mfp, _ := FingerprintStore(s, Meta{Generator: "other"}); mfp == fp {
+		t.Error("fingerprint ignores metadata")
+	}
+}
