@@ -2,7 +2,7 @@ GO ?= go
 
 # bench-json snapshot name; parameterized so each PR's snapshot
 # (BENCH_<pr>.json) doesn't overwrite the last.
-BENCH ?= BENCH_4.json
+BENCH ?= BENCH_5.json
 
 .PHONY: build test vet race verify bench bench-json serve
 
@@ -17,10 +17,11 @@ vet:
 
 # Race-check the packages with concurrency-sensitive surfaces: the
 # metrics registry, the sharded solver kernel, the parallel corpus
-# front-end, the analysis cache, and the HTTP service (worker pool,
-# backpressure, drain, hot reload).
+# front-end, the analysis cache, the HTTP service (worker pool,
+# backpressure, drain, hot reload), the symbol interner, and the
+# sharded constraint build.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/fpcache/... ./internal/service/...
+	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/fpcache/... ./internal/service/... ./internal/propgraph/... ./internal/constraints/...
 
 # verify = tier-1 (build + full tests) plus vet and the race checks.
 verify: vet race build test
@@ -30,14 +31,18 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # bench-json captures a metrics snapshot (stage-timer p50s, worker gauge,
-# cache.* counters and warm speedup) of a representative parallel run:
-# a cold pass populates a throwaway analysis cache, then the warm pass —
-# the one snapshotted — replays it with every file a hit.
+# cache.* counters and warm speedup, intern.* gauges) of a representative
+# parallel run: a cold pass populates a throwaway analysis cache, then
+# the warm pass — the one snapshotted — replays it with every file a hit.
+# The interning/union microbenchmarks are then merged into the same file
+# as bench.* gauges (ns_op, B_op, allocs_op).
 bench-json:
 	rm -rf .benchcache && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache >/dev/null && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -metrics-json $(BENCH) >/dev/null && \
-	rm -rf .benchcache
+	rm -rf .benchcache && \
+	$(GO) test -run='^$$' -bench='BenchmarkConstraintsBuild|BenchmarkUnion' -benchmem \
+		./internal/constraints/ ./internal/propgraph/ | $(GO) run ./cmd/benchjson -into $(BENCH)
 
 # serve learns a spec store (if absent) and boots the taint service on
 # :8647 — /v1/check, /v1/specs, /v1/healthz, /metrics, /debug/pprof/.

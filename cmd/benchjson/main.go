@@ -1,0 +1,112 @@
+// Command benchjson merges `go test -bench -benchmem` output into a
+// metrics snapshot produced by -metrics-json, so one JSON file carries
+// both the pipeline telemetry and the microbenchmark numbers. Each
+// benchmark line becomes three gauges:
+//
+//	bench.<Name>.ns_op
+//	bench.<Name>.b_op
+//	bench.<Name>.allocs_op
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson -into BENCH.json
+//
+// Non-benchmark lines (pkg headers, PASS/ok) pass through to stderr so
+// the run stays inspectable; the snapshot file is rewritten in place.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"seldon/internal/obs"
+)
+
+func main() {
+	into := flag.String("into", "", "metrics snapshot file to merge benchmark gauges into")
+	flag.Parse()
+	if *into == "" {
+		fatal(fmt.Errorf("need -into <snapshot.json>"))
+	}
+
+	data, err := os.ReadFile(*into)
+	if err != nil {
+		fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fatal(fmt.Errorf("%s: %w", *into, err))
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = map[string]float64{}
+	}
+
+	merged := 0
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		name, values, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		for unit, v := range values {
+			snap.Gauges["bench."+name+"."+unit] = v
+		}
+		merged++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if merged == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	out, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*into, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d benchmarks into %s\n", merged, *into)
+}
+
+// parseBenchLine recognizes `BenchmarkName[-P] iters v unit v unit ...`
+// and returns the bare name plus the snake_cased unit values.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends when procs > 1.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	values := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		unit := strings.ReplaceAll(strings.ReplaceAll(fields[i+1], "/", "_"), "-", "_")
+		values[unit] = v
+	}
+	if len(values) == 0 {
+		return "", nil, false
+	}
+	return name, values, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

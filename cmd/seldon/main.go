@@ -11,7 +11,7 @@
 //
 // Observability:
 //
-//	seldon -generate 400 -v                      # per-stage log on stderr
+//	seldon -generate 400 -v                      # per-stage log + interning summary
 //	seldon -generate 400 -metrics-json m.json    # metrics snapshot at exit
 //	seldon -generate 400 -http :8080             # /metrics + /debug/pprof
 //	seldon -generate 400 -cpuprofile cpu.out -memprofile mem.out
@@ -149,6 +149,10 @@ func main() {
 		}
 	}
 	fmt.Print(cacheSummary(res, cfg.Cache))
+	if *verbose {
+		fmt.Printf("interning: %d distinct symbols, %d bytes saved vs per-occurrence rep strings\n",
+			res.InternSymbols, res.InternBytesSaved)
+	}
 
 	if err := stopCPU(); err != nil {
 		fatal(err)

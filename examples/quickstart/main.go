@@ -46,8 +46,8 @@ func main() {
 	}
 	fmt.Println("== propagation graph ==")
 	for _, e := range graph.Events {
-		if len(e.Reps) > 0 {
-			fmt.Printf("  event %d (%s): %s\n", e.ID, e.Kind, e.Reps[0])
+		if e.NumReps() > 0 {
+			fmt.Printf("  event %d (%s): %s\n", e.ID, e.Kind, e.Rep(0))
 		}
 	}
 	fmt.Printf("  %d events, %d flow edges\n\n", len(graph.Events), graph.NumEdges())

@@ -3,10 +3,20 @@
 // one variable per (representation, role), information-flow constraints
 // following the three patterns of Fig. 4, backoff averaging (§4.3), and
 // equality constraints for the hand-labeled seed (§4.1).
+//
+// The build works on interned symbols throughout: representation
+// frequencies and the (representation, role) → variable mapping live in
+// dense arrays indexed by propgraph.Sym instead of string-keyed maps,
+// and the frequency and candidate-filter passes shard across a worker
+// pool. Results are bitwise identical at every worker count — shards are
+// contiguous event ranges merged in order, and the frequency merge is an
+// integer sum.
 package constraints
 
 import (
-	"sort"
+	"runtime"
+	"sync"
+	"time"
 
 	"seldon/internal/lp"
 	"seldon/internal/obs"
@@ -27,8 +37,14 @@ type Options struct {
 	// components larger than this bound (guards against pathological
 	// generated files). Default 50000.
 	MaxComponent int
+	// Workers bounds the goroutines used for the frequency and
+	// candidate-filter passes (the core.Config.Workers convention:
+	// 0 selects GOMAXPROCS, 1 keeps the sequential path). Results are
+	// bitwise identical at every count.
+	Workers int
 	// Metrics, when non-nil, receives constraint-system size gauges
-	// (variables, events, per-pattern constraint counts).
+	// (variables, events, per-pattern constraint counts) and the
+	// stage.constraints.* sub-timers.
 	Metrics *obs.Registry
 }
 
@@ -48,6 +64,60 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// workerCount resolves Options.Workers against n work items.
+func (o Options) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardRange is one contiguous chunk of work, [Lo, Hi).
+type shardRange struct{ lo, hi int }
+
+// shardRanges splits n items into at most w contiguous chunks.
+func shardRanges(n, w int) []shardRange {
+	if w < 1 {
+		w = 1
+	}
+	per := (n + w - 1) / w
+	var out []shardRange
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		out = append(out, shardRange{lo, hi})
+	}
+	return out
+}
+
+// runShards executes f once per shard, concurrently when there is more
+// than one shard. Shard contents are fixed by index arithmetic, never by
+// scheduling, so per-shard results are deterministic.
+func runShards(shards []shardRange, f func(shard int, lo, hi int)) {
+	if len(shards) == 1 {
+		f(0, shards[0].lo, shards[0].hi)
+		return
+	}
+	var wg sync.WaitGroup
+	for i, sr := range shards {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			f(i, lo, hi)
+		}(i, sr.lo, sr.hi)
+	}
+	wg.Wait()
+}
+
 // Variable identifies one score in the system.
 type Variable struct {
 	Rep  string
@@ -55,10 +125,11 @@ type Variable struct {
 }
 
 // EventInfo records, per candidate event, the representations that
-// survived the frequency cutoff and blacklist (most specific first).
+// survived the frequency cutoff and blacklist (most specific first), as
+// symbols in the graph's table.
 type EventInfo struct {
 	EventID int
-	Reps    []string
+	RepIDs  []propgraph.Sym
 	Roles   propgraph.RoleSet
 }
 
@@ -67,8 +138,13 @@ type EventInfo struct {
 type System struct {
 	Problem *lp.Problem
 	Vars    []Variable
-	// varIndex maps (rep, role) to a variable index.
-	varIndex map[Variable]int
+	// Syms is the graph's symbol table; EventInfo.RepIDs and the
+	// variable index are expressed against it.
+	Syms *propgraph.Interner
+	// varIDs maps sym*NumRoles+role to a variable index, -1 when absent.
+	varIDs []int32
+	// varSyms records the symbol of each variable, aligned with Vars.
+	varSyms []propgraph.Sym
 	// EventInfos lists candidate events in event-ID order.
 	EventInfos []EventInfo
 	// infoByEvent maps event ID to its position in EventInfos (or -1).
@@ -80,13 +156,25 @@ type System struct {
 	Opts              Options
 }
 
+// VarIDSym returns the variable index for (sym, role), or -1.
+func (s *System) VarIDSym(sym propgraph.Sym, role propgraph.Role) int {
+	slot := int(sym)*int(propgraph.NumRoles) + int(role)
+	if slot < 0 || slot >= len(s.varIDs) {
+		return -1
+	}
+	if id := s.varIDs[slot]; id >= 0 {
+		return int(id)
+	}
+	return -1
+}
+
 // VarID returns the variable index for (rep, role), or -1.
 func (s *System) VarID(rep string, role propgraph.Role) int {
-	id, ok := s.varIndex[Variable{Rep: rep, Role: role}]
+	sym, ok := s.Syms.Lookup(rep)
 	if !ok {
 		return -1
 	}
-	return id
+	return s.VarIDSym(sym, role)
 }
 
 // InfoFor returns the EventInfo for an event ID, or nil if the event is
@@ -102,52 +190,146 @@ func (s *System) InfoFor(eventID int) *EventInfo {
 func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 	opts = opts.withDefaults()
 	s := &System{
-		varIndex:    make(map[Variable]int),
+		Syms:        g.Syms,
 		infoByEvent: make([]int, len(g.Events)),
 		Opts:        opts,
 	}
+	m := opts.Metrics
+	strs := g.Syms.Strings()
+	nsyms := len(strs)
+	workers := opts.workerCount(len(g.Events))
+	shards := shardRanges(len(g.Events), workers)
 
-	// Pass 1: representation frequencies across the dataset.
-	repCount := make(map[string]int)
-	for _, e := range g.Events {
-		for _, r := range e.Reps {
-			repCount[r]++
+	// Pass 1: representation frequencies across the dataset, sharded over
+	// contiguous event ranges and merged by integer sum (order-free, so
+	// identical at every worker count).
+	//
+	// Frequency semantics, pinned by TestBuildCountsRepOccurrences: a
+	// representation counts once per occurrence in an event's backoff
+	// chain, NOT once per event. If the same representation appears at
+	// several backoff levels of one event (class base chains can repeat a
+	// name), every slot contributes to the count that BackoffCutoff is
+	// compared against — exactly what the original string-keyed
+	// implementation did.
+	t0 := time.Now()
+	repCount := make([]int32, nsyms)
+	if len(shards) == 1 {
+		for _, e := range g.Events {
+			for _, sym := range e.RepIDs {
+				repCount[sym]++
+			}
+		}
+	} else {
+		shardCounts := make([][]int32, len(shards))
+		runShards(shards, func(shard, lo, hi int) {
+			cnt := make([]int32, nsyms)
+			for _, e := range g.Events[lo:hi] {
+				for _, sym := range e.RepIDs {
+					cnt[sym]++
+				}
+			}
+			shardCounts[shard] = cnt
+		})
+		for _, cnt := range shardCounts {
+			for i, c := range cnt {
+				repCount[i] += c
+			}
 		}
 	}
+	m.ObserveDuration(obs.StageConstraintsFreq, time.Since(t0))
 
-	// Pass 2: candidate events and their surviving representations.
+	// Pass 2: candidate events and their surviving representations. Seed
+	// roles and the glob blacklist are evaluated once per distinct symbol
+	// (spec.SymIndex), then each shard filters its contiguous event range
+	// into a local arena; shard outputs concatenate in range order, which
+	// is exactly the sequential order.
+	t0 = time.Now()
+	ix := seed.IndexStrings(strs)
+	cutoff := int32(opts.BackoffCutoff)
+	type filtered struct {
+		infos  []EventInfo
+		starts []int
+		arena  []propgraph.Sym
+	}
+	shardOut := make([]filtered, len(shards))
+	runShards(shards, func(shard, lo, hi int) {
+		// Pre-size to upper bounds (every event kept, every occurrence
+		// surviving) so the filter loop never reallocates.
+		occ := 0
+		for _, e := range g.Events[lo:hi] {
+			occ += len(e.RepIDs)
+		}
+		out := filtered{
+			infos:  make([]EventInfo, 0, hi-lo),
+			starts: make([]int, 0, hi-lo),
+			arena:  make([]propgraph.Sym, 0, occ),
+		}
+		for _, e := range g.Events[lo:hi] {
+			start := len(out.arena)
+			for _, sym := range e.RepIDs {
+				if ix.Blacklisted(sym) {
+					continue
+				}
+				if repCount[sym] >= cutoff || ix.Roles(sym) != 0 {
+					out.arena = append(out.arena, sym)
+				}
+			}
+			if len(out.arena) == start {
+				continue
+			}
+			out.infos = append(out.infos, EventInfo{EventID: e.ID, Roles: e.Roles})
+			out.starts = append(out.starts, start)
+		}
+		// The arena no longer grows; carve the per-event slices.
+		for i := range out.infos {
+			end := len(out.arena)
+			if i+1 < len(out.infos) {
+				end = out.starts[i+1]
+			}
+			out.infos[i].RepIDs = out.arena[out.starts[i]:end:end]
+		}
+		shardOut[shard] = out
+	})
+	if len(shardOut) == 1 {
+		s.EventInfos = shardOut[0].infos
+	} else {
+		total := 0
+		for i := range shardOut {
+			total += len(shardOut[i].infos)
+		}
+		s.EventInfos = make([]EventInfo, 0, total)
+		for i := range shardOut {
+			s.EventInfos = append(s.EventInfos, shardOut[i].infos...)
+		}
+	}
 	for i := range s.infoByEvent {
 		s.infoByEvent[i] = -1
 	}
-	for _, e := range g.Events {
-		var reps []string
-		for _, r := range e.Reps {
-			if seed.Blacklisted(r) {
-				continue
-			}
-			if repCount[r] >= opts.BackoffCutoff || seed.RolesOf(r) != 0 {
-				reps = append(reps, r)
-			}
-		}
-		if len(reps) == 0 {
-			continue
-		}
-		s.infoByEvent[e.ID] = len(s.EventInfos)
-		s.EventInfos = append(s.EventInfos, EventInfo{EventID: e.ID, Reps: reps, Roles: e.Roles})
+	for i := range s.EventInfos {
+		s.infoByEvent[s.EventInfos[i].EventID] = i
 	}
+	m.ObserveDuration(obs.StageConstraintsFilter, time.Since(t0))
 
-	// Pass 3: variables, one per surviving (rep, role).
+	// Pass 3: variables, one per surviving (rep, role), assigned in
+	// first-seen order over (event, role, backoff) — the same order the
+	// string-keyed implementation produced.
+	t0 = time.Now()
+	s.varIDs = make([]int32, nsyms*int(propgraph.NumRoles))
+	for i := range s.varIDs {
+		s.varIDs[i] = -1
+	}
 	for i := range s.EventInfos {
 		info := &s.EventInfos[i]
 		for _, role := range propgraph.Roles() {
 			if !info.Roles.Has(role) {
 				continue
 			}
-			for _, rep := range info.Reps {
-				key := Variable{Rep: rep, Role: role}
-				if _, ok := s.varIndex[key]; !ok {
-					s.varIndex[key] = len(s.Vars)
-					s.Vars = append(s.Vars, key)
+			for _, sym := range info.RepIDs {
+				slot := int(sym)*int(propgraph.NumRoles) + int(role)
+				if s.varIDs[slot] < 0 {
+					s.varIDs[slot] = int32(len(s.Vars))
+					s.Vars = append(s.Vars, Variable{Rep: strs[sym], Role: role})
+					s.varSyms = append(s.varSyms, sym)
 				}
 			}
 		}
@@ -157,15 +339,15 @@ func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 	// rep's other roles to 0 (§4.1). Seed entries are fully qualified
 	// names, i.e. longest backoff options.
 	known := make(map[int]float64)
-	for _, v := range s.Vars {
-		roles := seed.RolesOf(v.Rep)
+	for i, v := range s.Vars {
+		roles := ix.Roles(s.varSyms[i])
 		if roles == 0 {
 			continue
 		}
 		if roles.Has(v.Role) {
-			known[s.varIndex[v]] = 1
+			known[i] = 1
 		} else {
-			known[s.varIndex[v]] = 0
+			known[i] = 0
 		}
 	}
 
@@ -175,11 +357,13 @@ func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 		Lambda:  opts.Lambda,
 		Known:   known,
 	}
+	m.ObserveDuration(obs.StageConstraintsVars, time.Since(t0))
 
 	// Pass 4: flow constraints per weakly connected component.
+	t0 = time.Now()
 	s.buildFlowConstraints(g)
+	m.ObserveDuration(obs.StageConstraintsFlow, time.Since(t0))
 
-	m := opts.Metrics
 	m.Set("constraints.vars", float64(len(s.Vars)))
 	m.Set("constraints.known_vars", float64(len(known)))
 	m.Set("constraints.events", float64(len(s.EventInfos)))
@@ -188,6 +372,7 @@ func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 	m.Set("constraints.pattern_b", float64(s.CountB))
 	m.Set("constraints.pattern_c", float64(s.CountC))
 	m.Set("constraints.skipped_components", float64(s.SkippedComponents))
+	m.Set("constraints.workers", float64(workers))
 	return s
 }
 
@@ -197,10 +382,10 @@ func (s *System) terms(info *EventInfo, role propgraph.Role) []lp.Term {
 	if info == nil || !info.Roles.Has(role) {
 		return nil
 	}
-	coef := 1.0 / float64(len(info.Reps))
-	out := make([]lp.Term, 0, len(info.Reps))
-	for _, rep := range info.Reps {
-		if id := s.VarID(rep, role); id >= 0 {
+	coef := 1.0 / float64(len(info.RepIDs))
+	out := make([]lp.Term, 0, len(info.RepIDs))
+	for _, sym := range info.RepIDs {
+		if id := s.VarIDSym(sym, role); id >= 0 {
 			out = append(out, lp.Term{Var: id, Coef: coef})
 		}
 	}
@@ -217,19 +402,37 @@ func (s *System) isCand(id int, role propgraph.Role) bool {
 // forward reachability over the (acyclic) propagation graph.
 func (s *System) buildFlowConstraints(g *propgraph.Graph) {
 	n := len(g.Events)
-	comp := weakComponents(g)
-	// Group events by component.
-	byComp := make(map[int][]int)
+	comp, ncomp := weakComponents(g)
+	// Bucket events by component with a counting sort. Component IDs are
+	// assigned in increasing discovery order and events are scanned in
+	// increasing ID order, so both the component iteration order and the
+	// event order inside each bucket match the previous sorted-map walk.
+	counts := make([]int, ncomp)
+	for _, c := range comp {
+		counts[c]++
+	}
+	starts := make([]int, ncomp+1)
+	for c, k := range counts {
+		starts[c+1] = starts[c] + k
+	}
+	copy(counts, starts[:ncomp]) // reuse as per-component cursors
+	byComp := make([]int, n)
 	for id := 0; id < n; id++ {
-		byComp[comp[id]] = append(byComp[comp[id]], id)
+		c := comp[id]
+		byComp[counts[c]] = id
+		counts[c]++
 	}
-	compIDs := make([]int, 0, len(byComp))
-	for c := range byComp {
-		compIDs = append(compIDs, c)
+	// Each event's index inside its component bucket. Edges never cross
+	// weak components, so buildComponent can translate any neighbor through
+	// this array instead of a per-component map.
+	localOf := make([]int32, n)
+	for k, id := range byComp {
+		localOf[id] = int32(k - starts[comp[id]])
 	}
-	sort.Ints(compIDs)
-	for _, c := range compIDs {
-		events := byComp[c]
+	var sc flowScratch
+	sc.localOf = localOf
+	for c := 0; c < ncomp; c++ {
+		events := byComp[starts[c]:starts[c+1]]
 		if len(events) < 2 {
 			continue
 		}
@@ -237,45 +440,80 @@ func (s *System) buildFlowConstraints(g *propgraph.Graph) {
 			s.SkippedComponents++
 			continue
 		}
-		s.buildComponent(g, events)
+		s.buildComponent(g, events, &sc)
 	}
 }
 
-// buildComponent generates constraints inside one component.
-func (s *System) buildComponent(g *propgraph.Graph, events []int) {
-	m := len(events)
-	local := make(map[int]int, m)
-	for i, id := range events {
-		local[id] = i
+// flowScratch holds buffers reused across buildComponent calls so the
+// per-component bookkeeping (degrees, topological order, reachability
+// bitsets) does not allocate once the largest component has been seen.
+type flowScratch struct {
+	localOf []int32 // event ID -> index within its component bucket
+	indeg   []int
+	queue   []int
+	order   []int
+	fwd     []bitset
+	words   []uint64 // backing arena for fwd
+}
+
+// prep resizes the scratch for a component of m events and returns the
+// zeroed indeg slice and bitsets.
+func (sc *flowScratch) prep(m int) ([]int, []bitset) {
+	if cap(sc.indeg) < m {
+		sc.indeg = make([]int, m)
+		sc.queue = make([]int, 0, m)
+		sc.order = make([]int, 0, m)
+		sc.fwd = make([]bitset, m)
 	}
+	indeg := sc.indeg[:m]
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	wpb := (m + 63) / 64
+	if cap(sc.words) < m*wpb {
+		sc.words = make([]uint64, m*wpb)
+	}
+	words := sc.words[:m*wpb]
+	for i := range words {
+		words[i] = 0
+	}
+	fwd := sc.fwd[:m]
+	for i := range fwd {
+		fwd[i] = bitset(words[i*wpb : (i+1)*wpb])
+	}
+	return indeg, fwd
+}
+
+// buildComponent generates constraints inside one component. Neighbor IDs
+// translate through sc.localOf: successors and predecessors of a component
+// member are, by definition of weak connectivity, members themselves.
+func (s *System) buildComponent(g *propgraph.Graph, events []int, sc *flowScratch) {
+	m := len(events)
+	indeg, fwd := sc.prep(m)
 	// Topological order. Analyzer-built graphs are DAGs; hand-built
 	// graphs may contain cycles, in which case the sort is incomplete and
 	// reachability falls back to a fixpoint iteration below.
-	indeg := make([]int, m)
 	for _, id := range events {
 		for _, dst := range g.Succs(id) {
-			if j, ok := local[dst]; ok {
-				indeg[j]++
-			}
+			indeg[sc.localOf[dst]]++
 		}
 	}
-	queue := make([]int, 0, m)
+	queue := sc.queue[:0]
 	for i, d := range indeg {
 		if d == 0 {
 			queue = append(queue, i)
 		}
 	}
-	order := make([]int, 0, m)
+	order := sc.order[:0]
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
 		order = append(order, i)
 		for _, dst := range g.Succs(events[i]) {
-			if j, ok := local[dst]; ok {
-				indeg[j]--
-				if indeg[j] == 0 {
-					queue = append(queue, j)
-				}
+			j := sc.localOf[dst]
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, int(j))
 			}
 		}
 	}
@@ -283,18 +521,13 @@ func (s *System) buildComponent(g *propgraph.Graph, events []int) {
 	// Forward reachability bitsets: one reverse-topological pass for DAGs,
 	// fixpoint iteration when the component is cyclic (the paper notes the
 	// method supports cycles in principle, §5.2).
-	fwd := make([]bitset, m)
-	for i := range fwd {
-		fwd[i] = newBitset(m)
-	}
 	if len(order) == m {
 		for k := len(order) - 1; k >= 0; k-- {
 			i := order[k]
 			for _, dst := range g.Succs(events[i]) {
-				if j, ok := local[dst]; ok {
-					fwd[i].set(j)
-					fwd[i].or(fwd[j])
-				}
+				j := sc.localOf[dst]
+				fwd[i].set(int(j))
+				fwd[i].or(fwd[j])
 			}
 		}
 	} else {
@@ -302,13 +535,12 @@ func (s *System) buildComponent(g *propgraph.Graph, events []int) {
 			changed = false
 			for i := 0; i < m; i++ {
 				for _, dst := range g.Succs(events[i]) {
-					if j, ok := local[dst]; ok {
-						if fwd[i].setChanged(j) {
-							changed = true
-						}
-						if fwd[i].orChanged(fwd[j]) {
-							changed = true
-						}
+					j := sc.localOf[dst]
+					if fwd[i].setChanged(int(j)) {
+						changed = true
+					}
+					if fwd[i].orChanged(fwd[j]) {
+						changed = true
 					}
 				}
 			}
@@ -401,8 +633,9 @@ func (s *System) buildComponent(g *propgraph.Graph, events []int) {
 	}
 }
 
-// weakComponents labels each event with a weakly-connected-component ID.
-func weakComponents(g *propgraph.Graph) []int {
+// weakComponents labels each event with a weakly-connected-component ID,
+// returning the labels and the number of components.
+func weakComponents(g *propgraph.Graph) ([]int, int) {
 	n := len(g.Events)
 	comp := make([]int, n)
 	for i := range comp {
@@ -434,5 +667,5 @@ func weakComponents(g *propgraph.Graph) []int {
 		}
 		next++
 	}
-	return comp
+	return comp, next
 }

@@ -270,12 +270,15 @@ func TestWeakComponents(t *testing.T) {
 	g.AddEdge(0, 1)
 	g.AddEdge(2, 1) // weakly connects 2 to {0,1}
 	g.AddEdge(3, 4)
-	comp := weakComponents(g)
+	comp, ncomp := weakComponents(g)
 	if comp[0] != comp[1] || comp[1] != comp[2] {
 		t.Errorf("0,1,2 should share a component: %v", comp)
 	}
 	if comp[3] != comp[4] || comp[3] == comp[0] {
 		t.Errorf("3,4 should form their own component: %v", comp)
+	}
+	if ncomp != 2 {
+		t.Errorf("ncomp = %d, want 2", ncomp)
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 
 	"seldon/internal/constraints"
 	"seldon/internal/obs"
+	"seldon/internal/spec"
+	"seldon/internal/specio"
 )
 
 // parallelCorpus is tinyCorpus plus a file that fails to parse, so the
@@ -67,6 +69,48 @@ func TestLearnFromSourcesDeterministicAcrossWorkers(t *testing.T) {
 				t.Error("graph encodings differ")
 			}
 		})
+	}
+}
+
+// TestLearnedStoreGoldenAcrossWorkers pins the end-to-end guarantee the
+// interning rewrite must preserve: the learned specification and its
+// persisted store encoding are byte-identical whether the pipeline runs
+// sequentially or sharded (the golden output the pre-interning string
+// path produced).
+func TestLearnedStoreGoldenAcrossWorkers(t *testing.T) {
+	files := parallelCorpus()
+	run := func(workers int) ([]byte, *spec.Spec, *Result) {
+		cfg := Config{Constraints: constraints.Options{BackoffCutoff: 2}, Workers: workers}
+		res := LearnFromSources(files, tinySeed(), cfg)
+		merged := res.LearnedSpec(tinySeed())
+		meta := specio.Meta{
+			CorpusFingerprint: specio.Fingerprint(files),
+			CorpusFiles:       len(files),
+			Generator:         "golden-test",
+		}
+		var buf bytes.Buffer
+		if err := specio.Encode(&buf, merged, meta); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), merged, res
+	}
+	store1, spec1, res1 := run(1)
+	store4, spec4, _ := run(4)
+	if !specio.Equal(spec1, spec4) {
+		t.Error("learned specifications differ between workers 1 and 4")
+	}
+	if !bytes.Equal(store1, store4) {
+		t.Error("persisted store bytes differ between workers 1 and 4")
+	}
+	if len(spec1.Sources)+len(spec1.Sanitizers)+len(spec1.Sinks) == 0 {
+		t.Fatal("golden run learned nothing; fixture too weak to pin anything")
+	}
+	// The interning telemetry must reflect a real, shared symbol table.
+	if res1.InternSymbols <= 0 {
+		t.Errorf("InternSymbols = %d, want > 0", res1.InternSymbols)
+	}
+	if res1.InternBytesSaved < 0 {
+		t.Errorf("InternBytesSaved = %d, want >= 0", res1.InternBytesSaved)
 	}
 }
 

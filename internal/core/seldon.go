@@ -102,6 +102,13 @@ type Result struct {
 	CacheBytes  int64
 	CacheSaved  time.Duration
 
+	// InternSymbols and InternBytesSaved summarize the learned-on graph's
+	// symbol table: the number of distinct representation strings, and the
+	// string bytes interning avoids storing (every occurrence's length
+	// minus the store-each-string-once footprint of the table).
+	InternSymbols    int
+	InternBytesSaved int64
+
 	// Predictions lists every selected (event, role), event-ID order.
 	Predictions []Prediction
 	// EventRoles aggregates predictions per event.
@@ -140,9 +147,25 @@ func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
 
 	copts := cfg.Constraints
 	copts.Metrics = cfg.Metrics
+	if copts.Workers == 0 {
+		copts.Workers = cfg.Workers
+	}
 	res.runStage(cfg, obs.StageConstraints, func() {
 		res.System = constraints.Build(g, seed, copts)
 	})
+
+	// Interning summary of the graph just learned on.
+	strs := g.Syms.Strings()
+	var occBytes int64
+	for _, e := range g.Events {
+		for _, s := range e.RepIDs {
+			occBytes += int64(len(strs[s]))
+		}
+	}
+	res.InternSymbols = len(strs)
+	res.InternBytesSaved = occBytes - g.Syms.Bytes()
+	cfg.Metrics.Set(obs.GaugeInternSymbols, float64(res.InternSymbols))
+	cfg.Metrics.Set(obs.GaugeInternBytesSaved, float64(res.InternBytesSaved))
 
 	solverOpts := cfg.Solver
 	if cfg.Metrics != nil {
@@ -234,17 +257,21 @@ func (r *Result) ScoreOf(rep string, role propgraph.Role) float64 {
 // walk the backoff options from most to least specific and select the
 // role if decay^i * score_i passes the threshold.
 func (r *Result) selectRoles(cfg Config) {
+	strs := r.System.Syms.Strings()
 	for idx := range r.System.EventInfos {
 		info := &r.System.EventInfos[idx]
 		for _, role := range propgraph.Roles() {
 			if !info.Roles.Has(role) {
 				continue
 			}
-			for i, rep := range info.Reps {
-				score := r.ScoreOf(rep, role)
+			for i, sym := range info.RepIDs {
+				var score float64
+				if id := r.System.VarIDSym(sym, role); id >= 0 {
+					score = r.Solution[id]
+				}
 				if math.Pow(cfg.BackoffDecay, float64(i))*score >= cfg.Threshold {
 					r.Predictions = append(r.Predictions, Prediction{
-						EventID: info.EventID, Role: role, Rep: rep,
+						EventID: info.EventID, Role: role, Rep: strs[sym],
 						Score: score, Backoff: i,
 					})
 					r.EventRoles[info.EventID] = r.EventRoles[info.EventID].With(role)

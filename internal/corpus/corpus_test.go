@@ -62,7 +62,7 @@ func TestGeneratedFlowsAppearInGraphs(t *testing.T) {
 	}
 	hasRep := func(g *propgraph.Graph, rep string) bool {
 		for _, e := range g.Events {
-			for _, r := range e.Reps {
+			for _, r := range e.Reps() {
 				if r == rep {
 					return true
 				}

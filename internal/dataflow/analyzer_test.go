@@ -22,7 +22,7 @@ func analyze(t *testing.T, src string) *propgraph.Graph {
 // findEvent returns the first event having rep among its representations.
 func findEvent(g *propgraph.Graph, rep string) *propgraph.Event {
 	for _, e := range g.Events {
-		for _, r := range e.Reps {
+		for _, r := range e.Reps() {
 			if r == rep {
 				return e
 			}
@@ -37,7 +37,7 @@ func flowsTo(t *testing.T, g *propgraph.Graph, a, b string) bool {
 	t.Helper()
 	var as, bs []int
 	for _, e := range g.Events {
-		for _, r := range e.Reps {
+		for _, r := range e.Reps() {
 			if r == a {
 				as = append(as, e.ID)
 			}
@@ -96,8 +96,8 @@ func TestFigure2Events(t *testing.T) {
 		if findEvent(g, rep) == nil {
 			var have []string
 			for _, e := range g.Events {
-				if len(e.Reps) > 0 {
-					have = append(have, e.Reps[0])
+				if e.NumReps() > 0 {
+					have = append(have, e.Rep(0))
 				}
 			}
 			t.Errorf("missing event %q; have %v", rep, have)
@@ -156,12 +156,12 @@ func TestBackoffRepsForImportedChain(t *testing.T) {
 		t.Fatal("missing call event")
 	}
 	want := []string{"flask.request.form.get()", "request.form.get()", "form.get()"}
-	if len(ev.Reps) != len(want) {
-		t.Fatalf("reps = %v, want %v", ev.Reps, want)
+	if ev.NumReps() != len(want) {
+		t.Fatalf("reps = %v, want %v", ev.Reps(), want)
 	}
 	for i := range want {
-		if ev.Reps[i] != want[i] {
-			t.Errorf("rep[%d] = %q, want %q", i, ev.Reps[i], want[i])
+		if ev.Rep(i) != want[i] {
+			t.Errorf("rep[%d] = %q, want %q", i, ev.Rep(i), want[i])
 		}
 	}
 }
@@ -181,13 +181,13 @@ func TestParamEventsCreated(t *testing.T) {
 		t.Fatal("missing save call")
 	}
 	found := false
-	for _, r := range save.Reps {
+	for _, r := range save.Reps() {
 		if r == "f.save()" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("save reps = %v, want to include f.save()", save.Reps)
+		t.Errorf("save reps = %v, want to include f.save()", save.Reps())
 	}
 	if !flowsTo(t, g, "media(param f)", "media(param f).save()") {
 		t.Error("param must flow into method call on it")
@@ -212,12 +212,12 @@ class ESCPOSDriver(ThreadDriver):
 		"status(param self).receipt()",
 		"self.receipt()",
 	}
-	if len(ev.Reps) != len(want) {
-		t.Fatalf("reps = %v", ev.Reps)
+	if ev.NumReps() != len(want) {
+		t.Fatalf("reps = %v", ev.Reps())
 	}
 	for i := range want {
-		if ev.Reps[i] != want[i] {
-			t.Errorf("rep[%d] = %q, want %q", i, ev.Reps[i], want[i])
+		if ev.Rep(i) != want[i] {
+			t.Errorf("rep[%d] = %q, want %q", i, ev.Rep(i), want[i])
 		}
 	}
 	// No source-candidate event for the receiver itself.

@@ -176,7 +176,7 @@ func TestMaxPathSegmentsCapsReps(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range g.Events {
-		for _, r := range e.Reps {
+		for _, r := range e.Reps() {
 			if len(r) > 0 && strings.Count(r, ".") > 10 {
 				t.Errorf("over-long rep survived: %q", r)
 			}
@@ -187,7 +187,7 @@ func TestMaxPathSegmentsCapsReps(t *testing.T) {
 	g2 := AnalyzeModule(mod, Options{MaxPathSegments: 3})
 	deepCall := 0
 	for _, e := range g2.Events {
-		if e.Kind == propgraph.KindCall && len(e.Reps) == 0 {
+		if e.Kind == propgraph.KindCall && e.NumReps() == 0 {
 			deepCall++
 		}
 	}

@@ -48,8 +48,13 @@ import (
 const AnalyzerVersion = "seldon-frontend-v1"
 
 const (
-	magic        = "SFPC"
-	codecVersion = 1
+	magic = "SFPC"
+	// codecVersion 2: the embedded propagation graph switched to
+	// propgraph's symbol-table binary codec (v2). Version-1 entries fail
+	// to decode, which Get reports as a miss — the file re-analyzes once
+	// and the write-back overwrites the entry in place (same key), so old
+	// caches invalidate by design without leaving orphans.
+	codecVersion = 2
 	entrySuffix  = ".fpc"
 	checksumSize = sha256.Size
 )

@@ -117,7 +117,7 @@ func Infer(g *propgraph.Graph, seed *spec.Spec, opts Options) (*Result, error) {
 		for r := range varOf[i] {
 			varOf[i][r] = -1
 		}
-		if len(e.Reps) == 0 || seed.Blacklisted(e.Reps[0]) {
+		if e.NumReps() == 0 || seed.Blacklisted(e.Rep(0)) {
 			continue
 		}
 		for _, role := range propgraph.Roles() {
@@ -193,10 +193,10 @@ func (r *Result) Predict(threshold float64) []Prediction {
 	var out []Prediction
 	for id, m := range r.Marginals {
 		for _, role := range propgraph.Roles() {
-			if m[role] >= threshold && r.graph.Events[id].Roles.Has(role) && len(r.graph.Events[id].Reps) > 0 {
+			if m[role] >= threshold && r.graph.Events[id].Roles.Has(role) && r.graph.Events[id].NumReps() > 0 {
 				out = append(out, Prediction{
 					EventID: id, Role: role,
-					Rep:      r.graph.Events[id].Reps[0],
+					Rep:      r.graph.Events[id].Rep(0),
 					Marginal: m[role],
 				})
 			}
@@ -210,9 +210,9 @@ func (r *Result) Predict(threshold float64) []Prediction {
 func (r *Result) TopK(role propgraph.Role, k int) []Prediction {
 	var out []Prediction
 	for id, m := range r.Marginals {
-		if r.graph.Events[id].Roles.Has(role) && len(r.graph.Events[id].Reps) > 0 {
+		if r.graph.Events[id].Roles.Has(role) && r.graph.Events[id].NumReps() > 0 {
 			out = append(out, Prediction{EventID: id, Role: role,
-				Rep: r.graph.Events[id].Reps[0], Marginal: m[role]})
+				Rep: r.graph.Events[id].Rep(0), Marginal: m[role]})
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Marginal > out[j].Marginal })
@@ -233,7 +233,7 @@ func addPriors(g *propgraph.Graph, seed *spec.Spec, varOf [][3]int,
 	// skip the flow prior — their hard prior is authoritative and the two
 	// would zero out the factor product.
 	for id, e := range g.Events {
-		seeded := len(e.Reps) > 0 && seed.RolesOf(e.Reps[0]) != 0
+		seeded := e.NumReps() > 0 && seed.RolesOf(e.Rep(0)) != 0
 		if !seeded && varOf[id][propgraph.Sanitizer] >= 0 {
 			fromSrc, total := 0, 0
 			for _, u := range reach.back[id] {
@@ -264,10 +264,10 @@ func addPriors(g *propgraph.Graph, seed *spec.Spec, varOf [][3]int,
 			}
 		}
 		// Hard priors for hand-labeled events (most specific rep only).
-		if len(e.Reps) == 0 {
+		if e.NumReps() == 0 {
 			continue
 		}
-		roles := seed.RolesOf(e.Reps[0])
+		roles := seed.RolesOf(e.Rep(0))
 		if roles == 0 {
 			continue
 		}

@@ -173,7 +173,7 @@ def g():
 	sanMarginal := func(res *Result, pg *propgraph.Graph) float64 {
 		best := 0.0
 		for id, e := range pg.Events {
-			if len(e.Reps) > 0 && e.Reps[0] == "san()" {
+			if e.NumReps() > 0 && e.Rep(0) == "san()" {
 				if m := res.Marginals[id][propgraph.Sanitizer]; m > best {
 					best = m
 				}

@@ -27,6 +27,20 @@ const (
 	StageSolve       = "stage.solve"       // projected-Adam solve
 	StageSelect      = "stage.select"      // role selection (§7.1 backoff)
 
+	// Sub-timers of the constraint build (constraints.Build passes).
+	StageConstraintsFreq   = "stage.constraints.freq"   // pass 1: rep frequencies
+	StageConstraintsFilter = "stage.constraints.filter" // pass 2: candidate filter
+	StageConstraintsVars   = "stage.constraints.vars"   // pass 3: variable assignment
+	StageConstraintsFlow   = "stage.constraints.flow"   // pass 4: flow constraints
+
+	// Symbol interning (propgraph.Interner) over the learned-on graph.
+	// intern.symbols is the number of distinct representation strings;
+	// intern.bytes_saved is the string bytes interning avoids storing —
+	// total bytes of every representation occurrence minus the table's
+	// store-each-string-once footprint.
+	GaugeInternSymbols    = "intern.symbols"
+	GaugeInternBytesSaved = "intern.bytes_saved"
+
 	// Per-file timers.
 	FileParse   = "file.parse"
 	FileAnalyze = "file.analyze"

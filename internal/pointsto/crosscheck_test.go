@@ -71,7 +71,7 @@ func dataflowFlows(g *propgraph.Graph, from, to string) bool {
 	var srcs []int
 	targets := map[int]bool{}
 	for _, e := range g.Events {
-		for _, r := range e.Reps {
+		for _, r := range e.Reps() {
 			if r == from {
 				srcs = append(srcs, e.ID)
 			}

@@ -17,6 +17,15 @@ import (
 // candidate roles), the successor adjacency in insertion order, and the
 // argument-position edge labels in packed-key order.
 //
+// Version 2 writes strings once: the graph's symbol table and a
+// first-seen table of file names lead the encoding, and each event then
+// references representations and its file by integer index. A corpus
+// file's graph repeats its own name in every event and shares
+// representation strings across events, so entries shrink and decoding
+// rebuilds each string exactly once. Version-1 entries fail to decode,
+// which the cache treats as a miss (re-analyze + overwrite), never an
+// error.
+//
 // Predecessor lists are not stored: they are rebuilt in ascending-source
 // order on decode, the same normal form propgraph.Union re-establishes
 // for every downstream consumer, so a decoded graph is indistinguishable
@@ -24,7 +33,7 @@ import (
 
 const (
 	binaryTag     = 0x47 // 'G', leading byte of a graph section
-	binaryVersion = 1
+	binaryVersion = 2
 )
 
 func appendString(dst []byte, s string) []byte {
@@ -37,15 +46,37 @@ func appendString(dst []byte, s string) []byte {
 // (DecodeBinary knows where it ends).
 func (g *Graph) AppendBinary(dst []byte) []byte {
 	dst = append(dst, binaryTag, binaryVersion)
+
+	// Symbol table, in table order (RepIDs index it directly).
+	syms := g.Syms.Strings()
+	dst = binary.AppendUvarint(dst, uint64(len(syms)))
+	for _, s := range syms {
+		dst = appendString(dst, s)
+	}
+
+	// File-name table, first-seen order over events.
+	fileIdx := make(map[string]int)
+	var files []string
+	for _, e := range g.Events {
+		if _, ok := fileIdx[e.File]; !ok {
+			fileIdx[e.File] = len(files)
+			files = append(files, e.File)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(files)))
+	for _, f := range files {
+		dst = appendString(dst, f)
+	}
+
 	dst = binary.AppendUvarint(dst, uint64(len(g.Events)))
 	for _, e := range g.Events {
 		dst = binary.AppendUvarint(dst, uint64(e.Kind))
-		dst = appendString(dst, e.File)
+		dst = binary.AppendUvarint(dst, uint64(fileIdx[e.File]))
 		dst = binary.AppendVarint(dst, int64(e.Pos.Line))
 		dst = binary.AppendVarint(dst, int64(e.Pos.Col))
-		dst = binary.AppendUvarint(dst, uint64(len(e.Reps)))
-		for _, r := range e.Reps {
-			dst = appendString(dst, r)
+		dst = binary.AppendUvarint(dst, uint64(len(e.RepIDs)))
+		for _, r := range e.RepIDs {
+			dst = binary.AppendUvarint(dst, uint64(r))
 		}
 		dst = append(dst, byte(e.Roles))
 	}
@@ -156,8 +187,8 @@ func (r *binReader) count(what string) int {
 
 // DecodeBinary decodes a graph encoded by AppendBinary from the front of
 // data, returning the graph and the unconsumed remainder. Malformed
-// input — truncation, version mismatch, out-of-range edges — yields an
-// error, never a partial graph.
+// input — truncation, version mismatch, out-of-range edges or symbols —
+// yields an error, never a partial graph.
 func DecodeBinary(data []byte) (*Graph, []byte, error) {
 	r := &binReader{data: data}
 	if tag := r.byte(); r.err == nil && tag != binaryTag {
@@ -167,27 +198,65 @@ func DecodeBinary(data []byte) (*Graph, []byte, error) {
 		return nil, nil, fmt.Errorf("propgraph: binary: unsupported version %d", v)
 	}
 
+	// Symbol table. Interning in stored order reproduces the IDs the
+	// encoder wrote; a duplicate would silently shift every later ID, so
+	// it is rejected as corruption.
+	syms := NewInterner()
+	numSyms := r.count("symbol")
+	for i := 0; i < numSyms && r.err == nil; i++ {
+		s := r.string()
+		if r.err == nil && int(syms.Intern(s)) != i {
+			r.fail("duplicate symbol %q in table", s)
+		}
+	}
+
+	// File-name table.
+	var files []string
+	if numFiles := r.count("file"); numFiles > 0 {
+		files = make([]string, 0, numFiles)
+		for i := 0; i < numFiles && r.err == nil; i++ {
+			files = append(files, r.string())
+		}
+	}
+
 	numEvents := r.count("event")
 	g := &Graph{
+		Syms:   syms,
 		Events: make([]*Event, 0, numEvents),
 		succs:  make([][]int, numEvents),
 		preds:  make([][]int, numEvents),
 	}
+	evArena := make([]Event, numEvents)
 	for i := 0; i < numEvents && r.err == nil; i++ {
 		kind := r.uvarint()
 		if r.err == nil && kind > uint64(KindParam) {
 			r.fail("event %d: bad kind %d", i, kind)
 		}
-		e := &Event{
+		fileIdx := r.uvarint()
+		file := ""
+		if r.err == nil {
+			if fileIdx >= uint64(len(files)) {
+				r.fail("event %d: file index %d out of range", i, fileIdx)
+			} else {
+				file = files[fileIdx]
+			}
+		}
+		e := &evArena[i]
+		*e = Event{
 			ID:   i,
 			Kind: EventKind(kind),
-			File: r.string(),
+			File: file,
 			Pos:  pytoken.Pos{Line: int(r.varint()), Col: int(r.varint())},
+			syms: syms,
 		}
 		if nreps := r.count("rep"); nreps > 0 {
-			e.Reps = make([]string, nreps)
-			for j := range e.Reps {
-				e.Reps[j] = r.string()
+			e.RepIDs = make([]Sym, nreps)
+			for j := range e.RepIDs {
+				s := r.uvarint()
+				if r.err == nil && s >= uint64(numSyms) {
+					r.fail("event %d: symbol %d out of range", i, s)
+				}
+				e.RepIDs[j] = Sym(s)
 			}
 		}
 		e.Roles = RoleSet(r.byte())

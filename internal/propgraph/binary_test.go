@@ -2,6 +2,7 @@ package propgraph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"seldon/internal/pytoken"
@@ -101,5 +102,60 @@ func TestBinaryRejectsMalformedInput(t *testing.T) {
 		if _, _, err := DecodeBinary(data); err == nil {
 			t.Errorf("%s: decode succeeded, want error", name)
 		}
+	}
+}
+
+// Version-1 entries (pre-symbol-table layout) must be rejected outright —
+// the fpcache turns that error into a miss and re-analyzes.
+func TestBinaryRejectsVersion1(t *testing.T) {
+	enc := binaryTestGraph().AppendBinary(nil)
+	v1 := append([]byte{binaryTag, 1}, enc[2:]...)
+	if _, _, err := DecodeBinary(v1); err == nil {
+		t.Error("version-1 input accepted")
+	}
+}
+
+// A symbol table with a duplicate string would silently shift every later
+// symbol ID on decode; it must be treated as corruption.
+func TestBinaryRejectsDuplicateSymbols(t *testing.T) {
+	data := []byte{binaryTag, binaryVersion}
+	data = binary.AppendUvarint(data, 2)
+	data = appendString(data, "f()")
+	data = appendString(data, "f()")
+	data = binary.AppendUvarint(data, 0) // files
+	data = binary.AppendUvarint(data, 0) // events
+	data = binary.AppendUvarint(data, 0) // edge args
+	if _, _, err := DecodeBinary(data); err == nil {
+		t.Error("duplicate symbol table accepted")
+	}
+}
+
+// TestBinarySharesStrings pins the v2 size win: a graph whose events
+// repeat representations and file names must encode smaller than the sum
+// of its per-occurrence strings.
+func TestBinaryStringTableCompression(t *testing.T) {
+	g := New()
+	for i := 0; i < 50; i++ {
+		g.AddEvent(KindCall, "pkg/very/long/path/to/module.py",
+			pytoken.Pos{Line: i + 1}, []string{"package.module.function()", "module.function()"})
+	}
+	enc := g.AppendBinary(nil)
+	perOccurrence := 0
+	for _, e := range g.Events {
+		perOccurrence += len(e.File)
+		for _, r := range e.Reps() {
+			perOccurrence += len(r)
+		}
+	}
+	if len(enc) >= perOccurrence {
+		t.Errorf("encoding %dB, not smaller than %dB of per-occurrence strings",
+			len(enc), perOccurrence)
+	}
+	got, _, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.AppendBinary(nil), enc) {
+		t.Error("round trip changed bytes")
 	}
 }

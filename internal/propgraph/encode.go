@@ -43,7 +43,7 @@ func (g *Graph) Encode(w io.Writer) error {
 		jg.Events = append(jg.Events, jsonEvent{
 			Kind: int(e.Kind), File: e.File,
 			Line: e.Pos.Line, Col: e.Pos.Col,
-			Reps: e.Reps, Roles: uint8(e.Roles),
+			Reps: e.Reps(), Roles: uint8(e.Roles),
 		})
 	}
 	for src := range g.Events {

@@ -31,7 +31,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	for i, e := range g.Events {
 		ge := got.Events[i]
 		if ge.Kind != e.Kind || ge.File != e.File || ge.Pos != e.Pos ||
-			ge.Roles != e.Roles || len(ge.Reps) != len(e.Reps) {
+			ge.Roles != e.Roles || ge.NumReps() != e.NumReps() {
 			t.Errorf("event %d mismatch: %+v vs %+v", i, ge, e)
 		}
 	}

@@ -5,9 +5,11 @@
 // Events are function calls, object reads (attribute loads, subscripts),
 // and formal parameters. Each event carries an ordered list of
 // representations, from most to least specific, used for backoff during
-// learning (§3.2, §4.3). Two events with equal representations remain
-// distinct vertices; Collapse applies vertex contraction to obtain the
-// Merlin-style collapsed graph (§6.4).
+// learning (§3.2, §4.3). Representations are interned into the graph's
+// symbol table (Interner) and carried as dense Sym indices; the strings
+// themselves are materialized only on display paths. Two events with
+// equal representations remain distinct vertices; Collapse applies
+// vertex contraction to obtain the Merlin-style collapsed graph (§6.4).
 package propgraph
 
 import (
@@ -97,32 +99,81 @@ type Event struct {
 	Kind EventKind
 	File string
 	Pos  pytoken.Pos
-	// Reps lists possible representations, ordered most → least specific.
-	// Reps[0] is the fully qualified name used when matching seed specs.
-	Reps  []string
-	Roles RoleSet // candidate roles, before blacklisting
+	// RepIDs lists possible representations as symbols in the owning
+	// graph's table, ordered most → least specific. RepIDs[0] interns the
+	// fully qualified name used when matching seed specs.
+	RepIDs []Sym
+	Roles  RoleSet // candidate roles, before blacklisting
+
+	// syms is the owning graph's symbol table, used to materialize the
+	// representation strings on demand.
+	syms *Interner
 }
+
+// NumReps returns the number of representations of the event.
+func (e *Event) NumReps() int { return len(e.RepIDs) }
+
+// Rep materializes the i-th representation (0 = most specific).
+func (e *Event) Rep(i int) string { return e.syms.Str(e.RepIDs[i]) }
+
+// Reps materializes the representation strings, most → least specific.
+// Strings are built lazily on call — hot paths should index RepIDs
+// against the graph's symbol table instead.
+func (e *Event) Reps() []string {
+	if len(e.RepIDs) == 0 {
+		return nil
+	}
+	strs := e.syms.Strings()
+	out := make([]string, len(e.RepIDs))
+	for i, s := range e.RepIDs {
+		out[i] = strs[s]
+	}
+	return out
+}
+
+// dedupDegree is the out-degree above which AddEdge switches from a
+// linear duplicate scan to a per-source hash set. Small lists stay on
+// the scan (cache-friendly, no allocation); high-fanout events — hub
+// calls in big corpora — stop being quadratic.
+const dedupDegree = 16
 
 // Graph is a propagation graph. Edges point in the direction of
 // information flow. Graphs built by the dataflow analyzer are acyclic
 // (loops are analyzed as a single iteration, §5.2).
 type Graph struct {
+	// Syms interns every representation string of the graph's events;
+	// Event.RepIDs index into it.
+	Syms   *Interner
 	Events []*Event
 	succs  [][]int
 	preds  [][]int
+	// succSet mirrors succs[src] as a set for sources whose out-degree
+	// crossed dedupDegree; built lazily by AddEdge.
+	succSet map[int]map[int]struct{}
 	// edgeArgs labels edges with the argument positions the flow enters
 	// through (see args.go); unlabeled edges match any position.
 	edgeArgs map[int64][]int
 }
 
-// New returns an empty propagation graph.
-func New() *Graph { return &Graph{} }
+// New returns an empty propagation graph with a fresh symbol table.
+func New() *Graph { return &Graph{Syms: NewInterner()} }
 
-// AddEvent appends an event, assigning and returning its ID.
+// AddEvent appends an event, interning its representations, and assigns
+// and returns its ID.
 func (g *Graph) AddEvent(kind EventKind, file string, pos pytoken.Pos, reps []string) *Event {
+	var ids []Sym
+	if len(reps) > 0 {
+		if g.Syms == nil {
+			g.Syms = NewInterner()
+		}
+		ids = make([]Sym, len(reps))
+		for i, r := range reps {
+			ids[i] = g.Syms.Intern(r)
+		}
+	}
 	e := &Event{
 		ID: len(g.Events), Kind: kind, File: file, Pos: pos,
-		Reps: reps, Roles: CandidateRoles(kind),
+		RepIDs: ids, Roles: CandidateRoles(kind), syms: g.Syms,
 	}
 	g.Events = append(g.Events, e)
 	g.succs = append(g.succs, nil)
@@ -131,17 +182,40 @@ func (g *Graph) AddEvent(kind EventKind, file string, pos pytoken.Pos, reps []st
 }
 
 // AddEdge records information flow from src to dst. Self-loops and
-// duplicate edges are dropped.
+// duplicate edges are dropped. Below dedupDegree successors the
+// duplicate check is a linear scan; above it a per-source set takes
+// over (built once from the current list), so high-fanout sources pay
+// O(1) per insertion instead of O(out-degree). Edge order is append
+// order either way.
 func (g *Graph) AddEdge(src, dst int) {
 	if src == dst || src < 0 || dst < 0 || src >= len(g.Events) || dst >= len(g.Events) {
 		return
 	}
-	for _, s := range g.succs[src] {
-		if s == dst {
+	ss := g.succs[src]
+	if len(ss) < dedupDegree {
+		for _, s := range ss {
+			if s == dst {
+				return
+			}
+		}
+	} else {
+		set := g.succSet[src]
+		if set == nil {
+			set = make(map[int]struct{}, len(ss)+1)
+			for _, s := range ss {
+				set[s] = struct{}{}
+			}
+			if g.succSet == nil {
+				g.succSet = make(map[int]map[int]struct{})
+			}
+			g.succSet[src] = set
+		}
+		if _, dup := set[dst]; dup {
 			return
 		}
+		set[dst] = struct{}{}
 	}
-	g.succs[src] = append(g.succs[src], dst)
+	g.succs[src] = append(ss, dst)
 	g.preds[dst] = append(g.preds[dst], src)
 }
 
@@ -164,49 +238,83 @@ func (g *Graph) NumEdges() int {
 // union of the per-program graphs (§4, "Learning over a Global Propagation
 // Graph"). Event IDs are renumbered; inputs are not modified.
 //
+// Symbols are remapped from each input's table into the union's global
+// table through a per-graph translation array (each distinct string is
+// hashed once per input, occurrences are pure integer indexing), and the
+// global IDs are assigned in first-seen order over the inputs — so a
+// sorted input order yields a deterministic global table.
+//
 // Adjacency is bulk-copied: the inputs are well-formed graphs (edges
 // deduplicated, no self-loops) and the union is disjoint, so the per-edge
-// AddEdge duplicate scans are unnecessary. Event, successor, and
-// predecessor slices are preallocated to their exact summed sizes, and
-// predecessor lists are rebuilt in ascending-source order — the order the
+// AddEdge duplicate scans are unnecessary. Events, symbol lists, and
+// adjacency all carve from single preallocated arenas, and predecessor
+// lists are rebuilt in ascending-source order — the order the
 // AddEdge-based union produced — so the result is byte-identical to it.
 func Union(graphs ...*Graph) *Graph {
-	totalEvents := 0
+	totalEvents, totalReps, totalSuccs := 0, 0, 0
 	for _, g := range graphs {
 		totalEvents += len(g.Events)
+		for _, e := range g.Events {
+			totalReps += len(e.RepIDs)
+		}
+		totalSuccs += g.NumEdges()
 	}
+	syms := NewInterner()
 	out := &Graph{
+		Syms:   syms,
 		Events: make([]*Event, 0, totalEvents),
 		succs:  make([][]int, totalEvents),
 		preds:  make([][]int, totalEvents),
 	}
 
-	// Events and successor lists, then predecessor-list sizes.
+	// Events (with symbol translation) and successor lists, then
+	// predecessor-list sizes.
+	evArena := make([]Event, totalEvents)
+	repArena := make([]Sym, 0, totalReps)
+	succArena := make([]int, 0, totalSuccs)
 	predLen := make([]int, totalEvents)
 	for _, g := range graphs {
+		xlat := syms.TranslateFrom(g.Syms)
 		base := len(out.Events)
 		for _, e := range g.Events {
-			ne := *e
+			ne := &evArena[base+e.ID]
+			*ne = *e
 			ne.ID = base + e.ID
-			out.Events = append(out.Events, &ne)
+			ne.syms = syms
+			if len(e.RepIDs) > 0 {
+				start := len(repArena)
+				for _, s := range e.RepIDs {
+					repArena = append(repArena, xlat[s])
+				}
+				ne.RepIDs = repArena[start:len(repArena):len(repArena)]
+			}
+			out.Events = append(out.Events, ne)
 		}
 		for src, ss := range g.succs {
 			if len(ss) == 0 {
 				continue
 			}
-			shifted := make([]int, len(ss))
-			for i, dst := range ss {
-				shifted[i] = base + dst
+			start := len(succArena)
+			for _, dst := range ss {
+				succArena = append(succArena, base+dst)
 				predLen[base+dst]++
 			}
-			out.succs[base+src] = shifted
+			out.succs[base+src] = succArena[start:len(succArena):len(succArena)]
 		}
 	}
 
-	// Predecessor lists, exact-size, filled in ascending-source order.
+	// Predecessor lists, carved from one arena, filled in
+	// ascending-source order.
+	totalPreds := 0
+	for _, n := range predLen {
+		totalPreds += n
+	}
+	predArena := make([]int, totalPreds)
+	off := 0
 	for id, n := range predLen {
 		if n > 0 {
-			out.preds[id] = make([]int, 0, n)
+			out.preds[id] = predArena[off : off : off+n]
+			off += n
 		}
 	}
 	base := 0
@@ -226,22 +334,25 @@ func Union(graphs ...*Graph) *Graph {
 // same most-specific representation into a single vertex (Fig. 7). The
 // result is Merlin's collapsed propagation graph (§6.4); it is generally
 // unsuitable for taint analysis but usable for specification learning.
-// Events without representations are kept as-is.
+// Events without representations are kept as-is. The collapsed graph
+// shares the input's symbol table.
 func (g *Graph) Collapse() *Graph {
-	out := New()
+	out := &Graph{Syms: g.Syms}
 	classOf := make([]int, len(g.Events))
-	byRep := make(map[string]int)
+	// Contract on the most specific representation, qualified by kind so
+	// a read and a call never merge; events without representations are
+	// never merged.
+	byRep := make(map[uint64]int)
 	for _, e := range g.Events {
-		key := ""
-		if len(e.Reps) > 0 {
-			// Contract on the most specific representation, qualified by
-			// kind so a read and a call never merge.
-			key = fmt.Sprintf("%d|%s", e.Kind, e.Reps[0])
-		} else {
-			key = fmt.Sprintf("anon|%d", e.ID)
-		}
-		id, ok := byRep[key]
-		if !ok {
+		id := -1
+		if len(e.RepIDs) > 0 {
+			key := uint64(e.Kind)<<32 | uint64(e.RepIDs[0])
+			if prev, ok := byRep[key]; ok {
+				// Candidate roles of merged events accumulate.
+				out.Events[prev].Roles |= e.Roles
+				classOf[e.ID] = prev
+				continue
+			}
 			ne := *e
 			ne.ID = len(out.Events)
 			out.Events = append(out.Events, &ne)
@@ -250,8 +361,12 @@ func (g *Graph) Collapse() *Graph {
 			id = ne.ID
 			byRep[key] = id
 		} else {
-			// Candidate roles of merged events accumulate.
-			out.Events[id].Roles |= e.Roles
+			ne := *e
+			ne.ID = len(out.Events)
+			out.Events = append(out.Events, &ne)
+			out.succs = append(out.succs, nil)
+			out.preds = append(out.preds, nil)
+			id = ne.ID
 		}
 		classOf[e.ID] = id
 	}
@@ -302,11 +417,22 @@ type Stats struct {
 	CallEvents  int
 	ReadEvents  int
 	ParamEvents int
+
+	// Symbols counts the distinct representation strings in the graph's
+	// table; RepOccurrences counts representation slots across events.
+	// Their byte totals quantify what interning saves: SymbolBytes is the
+	// footprint of each distinct string stored once, OccurrenceBytes what
+	// carrying every slot by value would cost.
+	Symbols         int
+	RepOccurrences  int
+	SymbolBytes     int64
+	OccurrenceBytes int64
 }
 
 // ComputeStats gathers summary statistics.
 func (g *Graph) ComputeStats() Stats {
 	st := Stats{Events: len(g.Events), Edges: g.NumEdges()}
+	strs := g.Syms.Strings()
 	totalReps := 0
 	for _, e := range g.Events {
 		switch e.Kind {
@@ -317,11 +443,17 @@ func (g *Graph) ComputeStats() Stats {
 		case KindParam:
 			st.ParamEvents++
 		}
-		if len(e.Reps) > 0 {
+		if len(e.RepIDs) > 0 {
 			st.Candidates++
-			totalReps += len(e.Reps)
+			totalReps += len(e.RepIDs)
+			for _, s := range e.RepIDs {
+				st.OccurrenceBytes += int64(len(strs[s]))
+			}
 		}
 	}
+	st.RepOccurrences = totalReps
+	st.Symbols = g.Syms.Len()
+	st.SymbolBytes = g.Syms.Bytes()
 	if st.Candidates > 0 {
 		st.AvgBackoff = float64(totalReps) / float64(st.Candidates)
 	}

@@ -91,7 +91,7 @@ func TestCollapseMergesEqualReps(t *testing.T) {
 	reach := c.ForwardReachable(0)
 	found := false
 	for _, id := range reach {
-		if len(c.Events[id].Reps) > 0 && c.Events[id].Reps[0] == "sink()" {
+		if c.Events[id].NumReps() > 0 && c.Events[id].Rep(0) == "sink()" {
 			found = true
 		}
 	}
@@ -100,7 +100,7 @@ func TestCollapseMergesEqualReps(t *testing.T) {
 	}
 	// The uncollapsed graph must NOT have that path.
 	for _, id := range g.ForwardReachable(src.ID) {
-		if g.Events[id].Reps[0] == "sink()" {
+		if g.Events[id].Rep(0) == "sink()" {
 			t.Error("uncollapsed graph has spurious path")
 		}
 	}
@@ -175,12 +175,12 @@ func TestCollapsePreservesReachabilityProperty(t *testing.T) {
 		c := g.Collapse()
 		classOf := make(map[string]int)
 		for _, e := range c.Events {
-			classOf[e.Reps[0]] = e.ID
+			classOf[e.Rep(0)] = e.ID
 		}
 		for src := range g.Events {
 			for _, dst := range g.ForwardReachable(src) {
-				cs := classOf[g.Events[src].Reps[0]]
-				cd := classOf[g.Events[dst].Reps[0]]
+				cs := classOf[g.Events[src].Rep(0)]
+				cd := classOf[g.Events[dst].Rep(0)]
 				if cs == cd {
 					continue
 				}

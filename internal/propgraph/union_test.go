@@ -9,18 +9,17 @@ import (
 	"seldon/internal/pytoken"
 )
 
-// naiveUnion replicates the original per-edge AddEdge-based union. The
-// bulk-copying Union must stay byte-identical to it.
+// naiveUnion replicates the original event-by-event, edge-by-edge union:
+// every event re-added through AddEvent (re-interning its representation
+// strings into the output's table), every edge through AddEdge. The
+// arena-based, symbol-translating Union must stay byte-identical to it.
 func naiveUnion(graphs ...*Graph) *Graph {
 	out := New()
 	for _, g := range graphs {
 		base := len(out.Events)
 		for _, e := range g.Events {
-			ne := *e
-			ne.ID = base + e.ID
-			out.Events = append(out.Events, &ne)
-			out.succs = append(out.succs, nil)
-			out.preds = append(out.preds, nil)
+			ne := out.AddEvent(e.Kind, e.File, e.Pos, e.Reps())
+			ne.Roles = e.Roles
 		}
 		for src, ss := range g.succs {
 			for _, dst := range ss {
@@ -79,8 +78,13 @@ func TestUnionMatchesAddEdgeUnion(t *testing.T) {
 			t.Fatalf("case %d: %d events, want %d", ci, len(got.Events), len(want.Events))
 		}
 		for id := range want.Events {
-			if !reflect.DeepEqual(got.Events[id], want.Events[id]) {
-				t.Fatalf("case %d: event %d = %+v, want %+v", ci, id, got.Events[id], want.Events[id])
+			ge, we := got.Events[id], want.Events[id]
+			if ge.ID != we.ID || ge.Kind != we.Kind || ge.File != we.File ||
+				ge.Pos != we.Pos || ge.Roles != we.Roles ||
+				!reflect.DeepEqual(ge.RepIDs, we.RepIDs) ||
+				!reflect.DeepEqual(ge.Reps(), we.Reps()) {
+				t.Fatalf("case %d: event %d = %+v (reps %v), want %+v (reps %v)",
+					ci, id, ge, ge.Reps(), we, we.Reps())
 			}
 			if !reflect.DeepEqual(got.Succs(id), want.Succs(id)) {
 				t.Fatalf("case %d: succs(%d) = %v, want %v", ci, id, got.Succs(id), want.Succs(id))
@@ -105,6 +109,35 @@ func TestUnionMatchesAddEdgeUnion(t *testing.T) {
 		if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
 			t.Fatalf("case %d: encodings differ", ci)
 		}
+		// The binary codec leads with the symbol table, so this also pins
+		// that symbol translation assigns the exact IDs re-interning would.
+		if !bytes.Equal(got.AppendBinary(nil), want.AppendBinary(nil)) {
+			t.Fatalf("case %d: binary encodings differ", ci)
+		}
+	}
+}
+
+// TestUnionAllocBudget pins the arena allocation strategy: merging a
+// ~1k-event dataset must stay within a fixed allocation budget — roughly
+// the fixed arenas, one translation array per input, and the interning of
+// each distinct representation — rather than scaling with events or edges.
+func TestUnionAllocBudget(t *testing.T) {
+	graphs := make([]*Graph, 8)
+	nEvents := 0
+	for i := range graphs {
+		graphs[i] = pseudoGraph(i, 125)
+		nEvents += len(graphs[i].Events)
+	}
+	if nEvents < 1000 {
+		t.Fatalf("fixture too small: %d events", nEvents)
+	}
+	allocs := testing.AllocsPerRun(10, func() { Union(graphs...) })
+	// The distinct-symbol count (~1.3k across the inputs) dominates the
+	// budget via map inserts; the per-event and per-edge costs must stay
+	// amortized into the arenas. 2×events would signal a regression to
+	// per-event allocation.
+	if budget := 2000.0; allocs > budget {
+		t.Errorf("Union allocs/run = %.0f, budget %.0f", allocs, budget)
 	}
 }
 

@@ -428,9 +428,10 @@ func (e *Experiments) RunQ5(nProjects int) Q5 {
 		g := e.unionOf(files)
 		// Representations occurring in this project.
 		occurring := make(map[string]bool)
+		strs := g.Syms.Strings()
 		for _, ev := range g.Events {
-			for _, r := range ev.Reps {
-				occurring[r] = true
+			for _, s := range ev.RepIDs {
+				occurring[strs[s]] = true
 			}
 		}
 		cfg := e.LearnCfg

@@ -110,6 +110,53 @@ func (s *Spec) Entries() []Entry {
 	return out
 }
 
+// SymIndex caches per-symbol role and blacklist lookups against one
+// symbol table: RolesOf and the glob-pattern blacklist are evaluated
+// once per distinct representation instead of once per occurrence, and
+// every later lookup is a dense array index. Build it with IndexSymbols
+// after the table has stabilized (e.g. over a union graph's table); it
+// covers the symbols present at build time.
+type SymIndex struct {
+	roles []propgraph.RoleSet
+	black []bool
+}
+
+// IndexSymbols precomputes role and blacklist lookups for every symbol
+// of t.
+func (s *Spec) IndexSymbols(t *propgraph.Interner) *SymIndex {
+	return s.IndexStrings(t.Strings())
+}
+
+// IndexStrings precomputes role and blacklist lookups for a symbol-table
+// snapshot (strs[sym] is the string of sym).
+func (s *Spec) IndexStrings(strs []string) *SymIndex {
+	ix := &SymIndex{
+		roles: make([]propgraph.RoleSet, len(strs)),
+		black: make([]bool, len(strs)),
+	}
+	for i, str := range strs {
+		ix.roles[i] = s.RolesOf(str)
+		ix.black[i] = s.Blacklisted(str)
+	}
+	return ix
+}
+
+// Roles returns the roles assigned to a symbol (0 when out of range).
+func (ix *SymIndex) Roles(sym propgraph.Sym) propgraph.RoleSet {
+	if int(sym) >= len(ix.roles) {
+		return 0
+	}
+	return ix.roles[sym]
+}
+
+// Blacklisted reports whether a symbol matches any blacklist pattern.
+func (ix *SymIndex) Blacklisted(sym propgraph.Sym) bool {
+	if int(sym) >= len(ix.black) {
+		return false
+	}
+	return ix.black[sym]
+}
+
 // Entry is a single learned or seeded role assignment with its confidence.
 type Entry struct {
 	Rep   string

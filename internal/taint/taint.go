@@ -56,8 +56,11 @@ func (r *Report) String() string {
 // report is emitted per (source event, sink event) pair with a witness
 // path.
 func Analyze(g *propgraph.Graph, sp *spec.Spec) []Report {
-	roles := assignRoles(g, sp)
-	restr := sinkRestrictions(g, sp, roles)
+	// Roles and the glob blacklist are resolved once per distinct symbol;
+	// the per-event loops below are then pure array lookups.
+	ix := sp.IndexSymbols(g.Syms)
+	roles := assignRoles(g, ix)
+	restr := sinkRestrictions(g, sp, ix, roles)
 	var reports []Report
 	for id := range g.Events {
 		if !roles[id].Has(propgraph.Source) {
@@ -79,15 +82,15 @@ func Analyze(g *propgraph.Graph, sp *spec.Spec) []Report {
 
 // assignRoles maps each event to the roles its representations have in the
 // specification.
-func assignRoles(g *propgraph.Graph, sp *spec.Spec) []propgraph.RoleSet {
+func assignRoles(g *propgraph.Graph, ix *spec.SymIndex) []propgraph.RoleSet {
 	roles := make([]propgraph.RoleSet, len(g.Events))
 	for id, e := range g.Events {
 		var rs propgraph.RoleSet
-		for _, rep := range e.Reps {
-			if sp.Blacklisted(rep) {
+		for _, sym := range e.RepIDs {
+			if ix.Blacklisted(sym) {
 				continue
 			}
-			rs |= sp.RolesOf(rep)
+			rs |= ix.Roles(sym)
 		}
 		// Respect kind restrictions: a read can only be a source.
 		rs &= e.Roles
@@ -99,7 +102,7 @@ func assignRoles(g *propgraph.Graph, sp *spec.Spec) []propgraph.RoleSet {
 // sinkRestrictions computes, per sink event, the union of dangerous
 // argument positions of its spec'd sink representations; a nil entry means
 // the sink is unrestricted (any position is dangerous).
-func sinkRestrictions(g *propgraph.Graph, sp *spec.Spec, roles []propgraph.RoleSet) [][]int {
+func sinkRestrictions(g *propgraph.Graph, sp *spec.Spec, ix *spec.SymIndex, roles []propgraph.RoleSet) [][]int {
 	restr := make([][]int, len(g.Events))
 	for id, e := range g.Events {
 		if !roles[id].Has(propgraph.Sink) {
@@ -107,11 +110,11 @@ func sinkRestrictions(g *propgraph.Graph, sp *spec.Spec, roles []propgraph.RoleS
 		}
 		var positions []int
 		restricted := true
-		for _, rep := range e.Reps {
-			if !sp.RolesOf(rep).Has(propgraph.Sink) || sp.Blacklisted(rep) {
+		for i, sym := range e.RepIDs {
+			if !ix.Roles(sym).Has(propgraph.Sink) || ix.Blacklisted(sym) {
 				continue
 			}
-			args := sp.SinkArgsOf(rep)
+			args := sp.SinkArgsOf(e.Rep(i))
 			if args == nil {
 				restricted = false
 				break
@@ -191,10 +194,10 @@ func findFlows(g *propgraph.Graph, roles []propgraph.RoleSet, restr [][]int, src
 }
 
 func bestRep(e *propgraph.Event) string {
-	if len(e.Reps) == 0 {
+	if e.NumReps() == 0 {
 		return fmt.Sprintf("<event %d>", e.ID)
 	}
-	return e.Reps[0]
+	return e.Rep(0)
 }
 
 // Classify maps a sink representation to a vulnerability class.
