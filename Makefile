@@ -2,9 +2,9 @@ GO ?= go
 
 # bench-json snapshot name; parameterized so each PR's snapshot
 # (BENCH_<pr>.json) doesn't overwrite the last.
-BENCH ?= BENCH_5.json
+BENCH ?= BENCH_6.json
 
-.PHONY: build test vet race verify bench bench-json serve
+.PHONY: build test vet race verify bench bench-json serve loadsmoke load
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,25 @@ vet:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/fpcache/... ./internal/service/... ./internal/propgraph/... ./internal/constraints/...
 
-# verify = tier-1 (build + full tests) plus vet and the race checks.
-verify: vet race build test
+# verify = tier-1 (build + full tests) plus vet, the race checks, and
+# the end-to-end load smoke (real seldond + seldonload over loopback).
+verify: vet race build test loadsmoke
 	@echo "verify OK"
+
+# loadsmoke boots the service in-process on a free port, drives two
+# seconds of closed-loop load through /v1/check, and fails on any
+# 5xx/transport error or an empty /debug/traces ring — the cheapest
+# end-to-end check that serving, tracing, and exposition all work.
+loadsmoke:
+	$(GO) run ./cmd/seldon -generate 60 -o .smokespecs.json >/dev/null && \
+	$(GO) run ./cmd/seldonload -specs .smokespecs.json -duration 2s -warmup 200ms -c 4 -smoke; \
+	st=$$?; rm -f .smokespecs.json; exit $$st
+
+# load runs a longer self-served closed-loop measurement and prints the
+# latency percentiles (see also: seldonload -rps for open-loop SLO runs
+# against an already-running seldond).
+load: specs.json
+	$(GO) run ./cmd/seldonload -specs specs.json -duration 10s -warmup 1s -c 8
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
@@ -34,15 +50,19 @@ bench:
 # cache.* counters and warm speedup, intern.* gauges) of a representative
 # parallel run: a cold pass populates a throwaway analysis cache, then
 # the warm pass — the one snapshotted — replays it with every file a hit.
-# The interning/union microbenchmarks are then merged into the same file
-# as bench.* gauges (ns_op, B_op, allocs_op).
+# The interning/union microbenchmarks are merged into the same file as
+# bench.* gauges (ns_op, B_op, allocs_op), and a self-served seldonload
+# run adds a "load" section (serving p50/p95/p99 + throughput) so the
+# snapshot carries the serving SLO trajectory alongside the learning one.
 bench-json:
 	rm -rf .benchcache && \
-	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache >/dev/null && \
+	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -o .benchspecs.json >/dev/null && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -metrics-json $(BENCH) >/dev/null && \
 	rm -rf .benchcache && \
 	$(GO) test -run='^$$' -bench='BenchmarkConstraintsBuild|BenchmarkUnion' -benchmem \
-		./internal/constraints/ ./internal/propgraph/ | $(GO) run ./cmd/benchjson -into $(BENCH)
+		./internal/constraints/ ./internal/propgraph/ | $(GO) run ./cmd/benchjson -into $(BENCH) && \
+	$(GO) run ./cmd/seldonload -specs .benchspecs.json -duration 3s -warmup 500ms -c 4 -into $(BENCH) >/dev/null && \
+	rm -f .benchspecs.json
 
 # serve learns a spec store (if absent) and boots the taint service on
 # :8647 — /v1/check, /v1/specs, /v1/healthz, /metrics, /debug/pprof/.

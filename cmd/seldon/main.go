@@ -38,6 +38,7 @@ import (
 	"seldon/internal/corpus"
 	"seldon/internal/fpcache"
 	"seldon/internal/obs"
+	"seldon/internal/obs/trace"
 	"seldon/internal/propgraph"
 	"seldon/internal/spec"
 	"seldon/internal/specio"
@@ -107,7 +108,13 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := core.Config{Threshold: *threshold, Workers: *workers, Metrics: reg, Log: logger}
+	// Every run is one trace: the pipeline stages become child spans so
+	// -v can print where the time went as a tree, mirroring what seldond
+	// serves per-request from /debug/traces.
+	tracer := trace.New(4)
+	rootSpan := tracer.StartRoot("seldon.learn")
+	rootSpan.SetAttr("files", len(files))
+	cfg := core.Config{Threshold: *threshold, Workers: *workers, Metrics: reg, Log: logger, Span: rootSpan}
 	cfg.Constraints.Lambda = *lambda
 	cfg.Constraints.C = *cval
 	if *cacheDir != "" {
@@ -123,6 +130,7 @@ func main() {
 		cfg.Cache = cache
 	}
 	res := core.LearnFromSources(files, seedSpec, cfg)
+	rootSpan.End()
 
 	st := res.Graph.ComputeStats()
 	errNote := ""
@@ -152,6 +160,9 @@ func main() {
 	if *verbose {
 		fmt.Printf("interning: %d distinct symbols, %d bytes saved vs per-occurrence rep strings\n",
 			res.InternSymbols, res.InternBytesSaved)
+		if td, ok := tracer.TraceByID(rootSpan.TraceID()); ok {
+			fmt.Printf("trace %s:\n%s", td.TraceID, td.Tree())
+		}
 	}
 
 	if err := stopCPU(); err != nil {

@@ -7,10 +7,13 @@
 //	seldon -generate 240 -o specs.json     # learn and persist the store
 //	seldond -specs specs.json -addr :8647  # serve it
 //
-//	curl -s localhost:8647/v1/healthz
+//	curl -s localhost:8647/v1/healthz       # liveness
+//	curl -s localhost:8647/v1/readyz        # readiness (503 while draining)
 //	curl -s localhost:8647/v1/specs?role=sink
 //	curl -s --data-binary @app.py 'localhost:8647/v1/check?filename=app.py&trace=1'
-//	curl -s localhost:8647/metrics          # request counters + latency p50/p95
+//	curl -s localhost:8647/metrics          # request counters + latency p50/p95/p99
+//	curl -s localhost:8647/metrics.prom     # Prometheus text exposition
+//	curl -s localhost:8647/debug/traces     # ring of recent request traces
 //
 // Hot reload: after re-learning into the same store file, POST
 // /v1/reload re-reads it and swaps the new specs in atomically —
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"seldon/internal/obs"
+	"seldon/internal/obs/trace"
 	"seldon/internal/service"
 	"seldon/internal/specio"
 )
@@ -46,6 +50,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-check deadline (503 when exceeded)")
 		maxBody   = flag.Int64("max-body", 1<<20, "request body cap in bytes (413 when exceeded)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		traceRing = flag.Int("trace-ring", 0, "recent request traces kept for /debug/traces (0 = 256)")
 		verbose   = flag.Bool("v", false, "log requests and lifecycle events to stderr")
 	)
 	flag.Parse()
@@ -74,6 +79,7 @@ func main() {
 		DrainTimeout:   *drain,
 		Metrics:        reg,
 		Log:            logger,
+		Tracer:         trace.New(*traceRing),
 		OnReady: func(addr string) {
 			fmt.Printf("seldond: listening on %s\n", addr)
 		},

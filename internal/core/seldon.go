@@ -14,6 +14,7 @@ import (
 	"seldon/internal/fpcache"
 	"seldon/internal/lp"
 	"seldon/internal/obs"
+	"seldon/internal/obs/trace"
 	"seldon/internal/propgraph"
 	"seldon/internal/spec"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// parse-error counters, and the solver convergence trace. Nil keeps
 	// the pipeline on its telemetry-free fast path.
 	Metrics *obs.Registry
+	// Span, when non-nil, is the parent span the run's stage spans hang
+	// off: each pipeline stage becomes a timed child, so the whole run
+	// decomposes in the owning trace (obs/trace). Nil disables tracing.
+	Span *trace.Span
 	// Log, when non-nil, receives one structured line per stage.
 	Log *obs.Logger
 }
@@ -126,11 +131,14 @@ func (r *Result) StageTime(name string) time.Duration {
 }
 
 // runStage times f and records the result in Result.Stages, the metrics
-// registry, and the stage log.
+// registry, the stage log, and — when Config.Span is set — as a child
+// span of the run's trace.
 func (r *Result) runStage(cfg Config, name string, f func()) {
+	sp := cfg.Span.StartChild(name)
 	t0 := time.Now()
 	f()
 	d := time.Since(t0)
+	sp.End()
 	r.Stages = append(r.Stages, StageTiming{Name: name, Duration: d})
 	cfg.Metrics.ObserveDuration(name, d)
 	cfg.Log.Log(name, "dur", d.Round(time.Microsecond))
@@ -215,6 +223,7 @@ func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
 // silent: they are counted in Result.ParseErrors (and Config.Metrics),
 // listed in Result.ParseErrorFiles, and logged through Config.Log.
 func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Result {
+	feStart := time.Now()
 	fe := AnalyzeFiles(files, cfg)
 	pre := []StageTiming{
 		{Name: obs.StageParse, Duration: fe.ParseTotal},
@@ -223,8 +232,17 @@ func LearnFromSources(files map[string]string, seed *spec.Spec, cfg Config) *Res
 	if cfg.Cache != nil {
 		pre = append(pre, StageTiming{Name: obs.StageCache, Duration: fe.CacheWall})
 	}
+	// The front-end interleaves per-file parse and dataflow across the
+	// pool, so the two stages exist only as summed per-file times; record
+	// them as completed spans laid end to end inside the front-end wall.
+	cfg.Span.AddChildAt(obs.StageParse, feStart, fe.ParseTotal,
+		trace.String("files", len(files)), trace.String("summed", "per-file"))
+	cfg.Span.AddChildAt(obs.StageDataflow, feStart.Add(fe.ParseTotal), fe.AnalyzeTotal,
+		trace.String("summed", "per-file"))
 	t0 := time.Now()
+	unionSpan := cfg.Span.StartChild(obs.StageUnion)
 	union := propgraph.Union(fe.Graphs...)
+	unionSpan.End()
 	unionD := time.Since(t0)
 	cfg.Metrics.ObserveDuration(obs.StageUnion, unionD)
 	cfg.Log.Log(obs.StageUnion, "dur", unionD.Round(time.Microsecond))

@@ -5,12 +5,20 @@ import (
 	"net"
 	"net/http"
 	netpprof "net/http/pprof"
+	"strings"
 )
 
-// Handler serves the registry's JSON snapshot (nil registry → empty
-// snapshot, still valid JSON).
+// Handler serves the registry's snapshot, content-negotiated: a
+// Prometheus scrape (Accept mentioning text/plain or openmetrics) gets
+// the text exposition, everything else the JSON snapshot (nil registry
+// → empty snapshot, still valid either way).
 func Handler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		accept := req.Header.Get("Accept")
+		if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+			PromHandler(r).ServeHTTP(w, req)
+			return
+		}
 		data, err := r.Snapshot().JSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -21,11 +29,24 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// NewServeMux builds the operator mux: /metrics (JSON snapshot),
-// /metrics.txt (plain text), and the standard /debug/pprof/ endpoints.
+// PromHandler serves the registry's Prometheus text exposition
+// unconditionally — the scrape target for setups that want an explicit
+// path (/metrics.prom) instead of content negotiation.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		w.Write(r.Snapshot().Prom())
+	})
+}
+
+// NewServeMux builds the operator mux: /metrics (JSON, or Prometheus
+// text for scrapers via content negotiation), /metrics.prom (always
+// Prometheus text), /metrics.txt (plain text), and the standard
+// /debug/pprof/ endpoints.
 func NewServeMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics.prom", PromHandler(r))
 	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(r.Snapshot().Text()))

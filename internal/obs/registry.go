@@ -81,6 +81,32 @@ const (
 	maxTracePoints  = 8192
 )
 
+// bucketBounds are the fixed log-spaced histogram boundaries every
+// timer shares, in seconds: 1/2.5/5 per decade from 10µs to 100s, plus
+// an implicit +Inf bucket. Fixed boundaries make cumulative counts
+// mergeable across scrapes and give honest tail quantiles (p99/p999)
+// even when the sample reservoir has decimated — the buckets count
+// every observation exactly.
+var bucketBounds = []float64{
+	1e-05, 2.5e-05, 5e-05,
+	1e-04, 2.5e-04, 5e-04,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 25, 50,
+	100,
+}
+
+// BucketBounds returns a copy of the shared histogram boundaries, in
+// seconds. Snapshot.Timers[*].Buckets is aligned with it (cumulative,
+// +Inf implied by Count).
+func BucketBounds() []float64 {
+	out := make([]float64, len(bucketBounds))
+	copy(out, bucketBounds)
+	return out
+}
+
 // Registry is a concurrency-safe in-process metrics sink.
 // The zero value is not usable; call New. A nil *Registry is a valid
 // no-op sink.
@@ -102,16 +128,19 @@ func New() *Registry {
 	}
 }
 
-// timer accumulates exact count/sum/min/max plus a deterministic
-// stride-decimated sample reservoir for quantile estimates.
+// timer accumulates exact count/sum/min/max, a deterministic
+// stride-decimated sample reservoir for mid quantiles (p50/p95), and a
+// fixed log-spaced bucket histogram counting every observation — the
+// source of tail quantiles (p99) and the Prometheus exposition.
 type timer struct {
-	count  int64
-	sum    float64
-	min    float64
-	max    float64
-	seen   int64 // observations since stride last doubled
-	stride int64 // record every stride-th observation
-	sample []float64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	seen    int64 // observations since stride last doubled
+	stride  int64 // record every stride-th observation
+	sample  []float64
+	buckets []int64 // per-bucket counts, len(bucketBounds)+1; last is +Inf
 }
 
 // trace is a bounded append-only series of labeled points. When full it
@@ -150,6 +179,17 @@ func (r *Registry) Set(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// GaugeAdd adjusts a gauge by delta — the up/down counterpart of Set,
+// for level-style series (in-flight requests) fed from many goroutines.
+func (r *Registry) GaugeAdd(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] += delta
+	r.mu.Unlock()
+}
+
 // Observe records one raw value into the named histogram/timer.
 func (r *Registry) Observe(name string, v float64) {
 	if r == nil {
@@ -158,7 +198,8 @@ func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	t := r.timers[name]
 	if t == nil {
-		t = &timer{min: math.Inf(1), max: math.Inf(-1), stride: 1}
+		t = &timer{min: math.Inf(1), max: math.Inf(-1), stride: 1,
+			buckets: make([]int64, len(bucketBounds)+1)}
 		r.timers[name] = t
 	}
 	t.count++
@@ -169,6 +210,7 @@ func (r *Registry) Observe(name string, v float64) {
 	if v > t.max {
 		t.max = v
 	}
+	t.buckets[sort.SearchFloat64s(bucketBounds, v)]++
 	if t.seen%t.stride == 0 {
 		t.sample = append(t.sample, v)
 		if len(t.sample) > maxTimerSamples {
@@ -244,14 +286,21 @@ func (s Span) End() time.Duration {
 	return d
 }
 
-// TimerStats summarizes one timer for export.
+// TimerStats summarizes one timer for export. P50/P95 come from the
+// decimated sample reservoir; P99 is interpolated from the bucket
+// histogram (clamped to the exact min/max), so the tail stays honest
+// at any observation count. Buckets holds the cumulative bucket counts
+// aligned with BucketBounds() — the +Inf bucket is Count — and is nil
+// for an empty timer.
 type TimerStats struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of the registry contents.
@@ -304,7 +353,61 @@ func (t *timer) stats() TimerStats {
 	sort.Float64s(sorted)
 	st.P50 = quantile(sorted, 0.50)
 	st.P95 = quantile(sorted, 0.95)
+	st.P99 = t.bucketQuantile(0.99)
+	st.Buckets = make([]int64, len(bucketBounds))
+	var cum int64
+	for i := range bucketBounds {
+		cum += t.buckets[i]
+		st.Buckets[i] = cum
+	}
 	return st
+}
+
+// bucketQuantile interpolates the q-th quantile from the bucket
+// histogram (Prometheus histogram_quantile semantics: linear within
+// the containing bucket), clamped to the exact observed min/max so
+// coarse buckets never report values outside the data.
+func (t *timer) bucketQuantile(q float64) float64 {
+	rank := q * float64(t.count)
+	var cum int64
+	lower := 0.0
+	for i, c := range t.buckets {
+		cum += c
+		if float64(cum) < rank {
+			if i < len(bucketBounds) {
+				lower = bucketBounds[i]
+			}
+			continue
+		}
+		v := t.max // +Inf bucket: the exact max is the best honest answer
+		if i < len(bucketBounds) {
+			upper := bucketBounds[i]
+			v = upper
+			if c > 0 {
+				frac := (rank - float64(cum-c)) / float64(c)
+				v = lower + (upper-lower)*frac
+			}
+		}
+		return math.Min(math.Max(v, t.min), t.max)
+	}
+	return t.max
+}
+
+// Timer returns the current stats of one named timer without copying
+// the whole registry — cheap enough for per-request decisions (e.g.
+// computing Retry-After from the observed p50). ok is false when the
+// timer has never been observed (or the registry is nil).
+func (r *Registry) Timer(name string) (TimerStats, bool) {
+	if r == nil {
+		return TimerStats{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		return TimerStats{}, false
+	}
+	return t.stats(), true
 }
 
 // quantile uses nearest-rank interpolation over a sorted sample.

@@ -18,8 +18,8 @@ func (s *Snapshot) Text() string {
 	}
 	for _, k := range sortedKeys(s.Timers) {
 		t := s.Timers[k]
-		fmt.Fprintf(&b, "timer %s count=%d sum=%gs min=%gs max=%gs p50=%gs p95=%gs\n",
-			k, t.Count, t.Sum, t.Min, t.Max, t.P50, t.P95)
+		fmt.Fprintf(&b, "timer %s count=%d sum=%gs min=%gs max=%gs p50=%gs p95=%gs p99=%gs\n",
+			k, t.Count, t.Sum, t.Min, t.Max, t.P50, t.P95, t.P99)
 	}
 	for _, k := range sortedKeys(s.Traces) {
 		fmt.Fprintf(&b, "trace %s points=%d\n", k, len(s.Traces[k]))

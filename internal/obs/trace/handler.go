@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Dump is the /debug/traces response body.
+type Dump struct {
+	// Started/Finished are lifetime trace counts; Buffered is how many
+	// finished traces the ring currently retains.
+	Started  int64       `json:"started"`
+	Finished int64       `json:"finished"`
+	Buffered int         `json:"buffered"`
+	Traces   []TraceData `json:"traces"`
+}
+
+// Handler serves the tracer's recent-trace ring as JSON:
+//
+//	GET /debug/traces                 newest-first dump (all retained)
+//	GET /debug/traces?limit=N         at most N traces
+//	GET /debug/traces?trace_id=<id>   one trace, 404 when evicted/unknown
+//
+// A nil tracer serves an empty dump, mirroring the metrics handler.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("trace_id"); id != "" {
+			td, ok := t.TraceByID(id)
+			if !ok {
+				http.Error(w, "trace not retained: "+id, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, td)
+			return
+		}
+		started, finished, buffered := t.Stats()
+		dump := Dump{Started: started, Finished: finished, Buffered: buffered, Traces: t.Traces()}
+		if dump.Traces == nil {
+			dump.Traces = []TraceData{}
+		}
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			if n, err := strconv.Atoi(ls); err == nil && n >= 0 && n < len(dump.Traces) {
+				dump.Traces = dump.Traces[:n]
+			}
+		}
+		writeJSON(w, dump)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// Tree renders the trace as an indented span tree for logs and CLIs:
+//
+//	http.check 12.4ms  route=check
+//	  admission 0.1ms
+//	  queue 0.2ms
+//	  ...
+//
+// Children print in start order under their parent; spans whose parent
+// is not retained (remote parents, dropped spans) print at top level.
+func (d TraceData) Tree() string {
+	children := make(map[string][]SpanData, len(d.Spans))
+	ids := make(map[string]bool, len(d.Spans))
+	for _, sd := range d.Spans {
+		ids[sd.SpanID] = true
+	}
+	var roots []SpanData
+	for _, sd := range d.Spans {
+		if sd.ParentID != "" && ids[sd.ParentID] {
+			children[sd.ParentID] = append(children[sd.ParentID], sd)
+		} else {
+			roots = append(roots, sd)
+		}
+	}
+	byStart := func(s []SpanData) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].StartUnixNano < s[j].StartUnixNano })
+	}
+	var b strings.Builder
+	var walk func(sd SpanData, depth int)
+	walk = func(sd SpanData, depth int) {
+		fmt.Fprintf(&b, "%s%s %s", strings.Repeat("  ", depth), sd.Name,
+			time.Duration(sd.DurationNanos).Round(time.Microsecond))
+		for _, a := range sd.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		kids := children[sd.SpanID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	byStart(roots)
+	for _, sd := range roots {
+		walk(sd, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,407 @@
+// Package trace is the request-scoped half of the observability layer:
+// where internal/obs aggregates (counters, histograms), trace answers
+// "what happened inside THIS request/run" — every traced operation
+// decomposes into a tree of timed, attributed spans under one trace ID.
+//
+// The design follows the shape of W3C Trace Context / OpenTelemetry
+// without the dependency: 16-byte trace IDs and 8-byte span IDs in hex,
+// a `traceparent` header in and out, and a bounded in-memory ring of
+// recently completed traces served as JSON from /debug/traces.
+//
+// Like the metrics registry, every method is safe on a nil *Tracer and
+// a nil *Span and returns immediately, so instrumented code needs no
+// guards: a nil tracer yields nil spans, nil spans yield nil children.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	// DefaultCapacity is the trace-ring size New(0) selects.
+	DefaultCapacity = 256
+	// maxSpansPerTrace bounds the span records one trace retains; spans
+	// beyond it are counted in TraceData.Dropped instead of stored, so a
+	// runaway loop cannot grow a trace without bound.
+	maxSpansPerTrace = 512
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds an Attr, formatting the value with %v.
+func String(key string, value any) Attr {
+	return Attr{Key: key, Value: fmt.Sprintf("%v", value)}
+}
+
+// SpanData is the immutable record of one finished span.
+type SpanData struct {
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// StartUnixNano and DurationNanos place the span in time; child
+	// offsets relative to the trace start come from subtracting the
+	// trace's own StartUnixNano.
+	StartUnixNano int64  `json:"start_unix_nano"`
+	DurationNanos int64  `json:"duration_ns"`
+	Attrs         []Attr `json:"attrs,omitempty"`
+}
+
+// TraceData is the immutable record of one finished trace: the root
+// span's identity plus every recorded span, in end order (the root is
+// always last).
+type TraceData struct {
+	TraceID       string `json:"trace_id"`
+	Root          string `json:"root"` // root span name
+	StartUnixNano int64  `json:"start_unix_nano"`
+	DurationNanos int64  `json:"duration_ns"`
+	// RemoteParent marks traces whose root adopted a caller's
+	// traceparent; the root span's ParentID then names a span that lives
+	// in the caller's process, not in Spans.
+	RemoteParent bool       `json:"remote_parent,omitempty"`
+	Dropped      int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// Tracer collects finished traces into a bounded ring, newest
+// overwriting oldest. A nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	mu       sync.Mutex
+	ring     []TraceData
+	next     int
+	size     int
+	started  int64
+	finished int64
+}
+
+// New returns a tracer retaining the most recent capacity traces;
+// capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]TraceData, capacity)}
+}
+
+// traceBuf accumulates the finished spans of one in-flight trace. Spans
+// of a trace may end on different goroutines (worker handoff), so the
+// buffer carries its own lock.
+type traceBuf struct {
+	mu      sync.Mutex
+	spans   []SpanData
+	dropped int
+}
+
+func (b *traceBuf) add(sd SpanData) {
+	b.mu.Lock()
+	if len(b.spans) >= maxSpansPerTrace {
+		b.dropped++
+	} else {
+		b.spans = append(b.spans, sd)
+	}
+	b.mu.Unlock()
+}
+
+// Span is one in-flight timed operation. Spans are created by
+// Tracer.StartRoot/StartRootFrom and Span.StartChild, annotated with
+// SetAttr, and closed exactly once with End; a nil *Span no-ops
+// everywhere.
+type Span struct {
+	tracer  *Tracer
+	buf     *traceBuf
+	traceID string
+	id      string
+	parent  string
+	name    string
+	root    bool
+	remote  bool
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// StartRoot opens a new trace and returns its root span.
+func (t *Tracer) StartRoot(name string) *Span {
+	return t.startRoot(name, "", "")
+}
+
+// StartRootFrom opens a new trace, adopting the trace ID and parent
+// span ID of a valid W3C traceparent header; an empty or malformed
+// header starts a fresh trace, so callers pass the header through
+// unchecked.
+func (t *Tracer) StartRootFrom(name, traceparent string) *Span {
+	traceID, parentID, ok := ParseTraceparent(traceparent)
+	if !ok {
+		return t.startRoot(name, "", "")
+	}
+	return t.startRoot(name, traceID, parentID)
+}
+
+func (t *Tracer) startRoot(name, traceID, parentID string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.started++
+	t.mu.Unlock()
+	remote := traceID != ""
+	if traceID == "" {
+		traceID = randHex(16)
+	}
+	return &Span{
+		tracer:  t,
+		buf:     &traceBuf{},
+		traceID: traceID,
+		id:      randHex(8),
+		parent:  parentID,
+		name:    name,
+		root:    true,
+		remote:  remote,
+		start:   time.Now(),
+	}
+}
+
+// StartChild opens a child span under s, in the same trace.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer:  s.tracer,
+		buf:     s.buf,
+		traceID: s.traceID,
+		id:      randHex(8),
+		parent:  s.id,
+		name:    name,
+		start:   time.Now(),
+	}
+}
+
+// AddChildAt records an already-completed child span with an explicit
+// start time and duration. It exists for stages whose timing is known
+// only after the fact — e.g. per-file parse and dataflow totals summed
+// by the parallel front-end.
+func (s *Span) AddChildAt(name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.buf.add(SpanData{
+		SpanID:        randHex(8),
+		ParentID:      s.id,
+		Name:          name,
+		StartUnixNano: start.UnixNano(),
+		DurationNanos: int64(d),
+		Attrs:         attrs,
+	})
+}
+
+// SetAttr annotates the span; the value is formatted with %v.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, String(key, value))
+	s.mu.Unlock()
+}
+
+// TraceID returns the 32-hex-digit trace ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanID returns the 16-hex-digit span ID ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Traceparent renders the span as an outgoing W3C traceparent header
+// ("" on nil), so downstream calls join this trace.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.traceID, s.id)
+}
+
+// End closes the span, records it, and — for root spans — publishes
+// the finished trace into the tracer's ring. It returns the elapsed
+// time; calling End twice records once.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	sd := SpanData{
+		SpanID:        s.id,
+		ParentID:      s.parent,
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		DurationNanos: int64(d),
+		Attrs:         attrs,
+	}
+	if !s.root {
+		s.buf.add(sd)
+		return d
+	}
+	s.buf.mu.Lock()
+	spans := append(s.buf.spans, sd) // root last
+	dropped := s.buf.dropped
+	s.buf.mu.Unlock()
+	s.tracer.push(TraceData{
+		TraceID:       s.traceID,
+		Root:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		DurationNanos: int64(d),
+		RemoteParent:  s.remote,
+		Dropped:       dropped,
+		Spans:         spans,
+	})
+	return d
+}
+
+func (t *Tracer) push(td TraceData) {
+	t.mu.Lock()
+	t.ring[t.next] = td
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	t.finished++
+	t.mu.Unlock()
+}
+
+// Traces returns the retained traces, newest first. The returned
+// TraceData values are immutable snapshots and safe to share.
+func (t *Tracer) Traces() []TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceData, 0, t.size)
+	n := len(t.ring)
+	for i := 0; i < t.size; i++ {
+		out = append(out, t.ring[(t.next-1-i+2*n)%n])
+	}
+	return out
+}
+
+// TraceByID returns the retained trace with the given ID.
+func (t *Tracer) TraceByID(id string) (TraceData, bool) {
+	for _, td := range t.Traces() {
+		if td.TraceID == id {
+			return td, true
+		}
+	}
+	return TraceData{}, false
+}
+
+// Stats reports lifetime trace counts and the current ring occupancy.
+func (t *Tracer) Stats() (started, finished int64, buffered int) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.started, t.finished, t.size
+}
+
+// ParseTraceparent validates a W3C traceparent header
+// (version 00: "00-<32 hex>-<16 hex>-<2 hex>") and returns its trace
+// and parent-span IDs. All-zero IDs are invalid per the spec.
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" ||
+		!isHex(parts[1], 32) || !isHex(parts[2], 16) || !isHex(parts[3], 2) {
+		return "", "", false
+	}
+	if parts[1] == strings.Repeat("0", 32) || parts[2] == strings.Repeat("0", 16) {
+		return "", "", false
+	}
+	return parts[1], parts[2], true
+}
+
+// FormatTraceparent renders a version-00, sampled traceparent header.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// randHex returns n random bytes as 2n lowercase hex digits. The
+// crypto source never fails on supported platforms; if it somehow
+// does, the wall clock keeps IDs unique enough for debugging.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		now := time.Now().UnixNano()
+		for i := range b {
+			b[i] = byte(now >> (8 * (i % 8)))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// ctxKey carries the current span through a context.
+type ctxKey struct{}
+
+// NewContext returns ctx with s as the current span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span under the context's current span — or a new
+// root on t when the context carries none — and returns the context
+// rebound to the new span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := FromContext(ctx); parent != nil {
+		sp := parent.StartChild(name)
+		return NewContext(ctx, sp), sp
+	}
+	sp := t.StartRoot(name)
+	return NewContext(ctx, sp), sp
+}

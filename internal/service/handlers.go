@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"seldon/internal/core"
+	"seldon/internal/obs/trace"
 	"seldon/internal/propgraph"
 	"seldon/internal/specio"
 	"seldon/internal/taint"
@@ -38,6 +40,9 @@ type CheckResponse struct {
 	// over the recovered AST (same contract as the CLIs).
 	ParseError string  `json:"parse_error,omitempty"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
+	// TraceID identifies this request's span tree in /debug/traces
+	// (also returned in the X-Trace-Id response header).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handleCheck implements POST /v1/check: the body is one Python source
@@ -45,18 +50,34 @@ type CheckResponse struct {
 // loaded specification. Query parameters: filename (report label,
 // default "request.py"), trace=1 (include witness traces), dedupe=1
 // (collapse findings sharing source and sink representations).
+//
+// Every request runs under a span tree: admission (body read) → queue
+// (wait for a worker slot) → parse → dataflow → taint → encode. The
+// trace ID is returned in X-Trace-Id and the response body, a W3C
+// traceparent header is honored inbound and emitted outbound, and the
+// finished tree is retrievable from /debug/traces?trace_id=<id>.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, "check", http.StatusMethodNotAllowed, "POST a Python source file")
 		return
 	}
+	root := s.cfg.Tracer.StartRootFrom("http.check", r.Header.Get("Traceparent"))
+	defer root.End()
+	w.Header().Set("X-Trace-Id", root.TraceID())
+	w.Header().Set("Traceparent", root.Traceparent())
+	if s.draining.Load() {
+		s.fail(w, "check", http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	span := s.cfg.Metrics.Start(TimerCheck)
-	s.cfg.Metrics.Add(CounterRequests, 1)
-	s.cfg.Metrics.Add(CounterRequests+".check", 1)
 
+	adm := root.StartChild("admission")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	adm.SetAttr("body_bytes", len(body))
+	adm.End()
 	if err != nil {
+		span.End()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.fail(w, "check", http.StatusRequestEntityTooLarge,
@@ -70,11 +91,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	queue := root.StartChild("queue")
 	release, err := s.admit(ctx)
+	queue.End()
 	if err != nil {
+		span.End()
 		if errors.Is(err, errBusy) {
 			s.cfg.Metrics.Add(CounterRejected, 1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			s.fail(w, "check", http.StatusTooManyRequests, "server at capacity, retry later")
 			return
 		}
@@ -86,6 +110,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "request.py"
 	}
+	root.SetAttr("file", name)
 
 	// Run the pipeline on the worker slot; the handler goroutine only
 	// waits for it or the deadline. On timeout the analysis goroutine
@@ -100,20 +125,45 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		if s.checkGate != nil {
 			<-s.checkGate
 		}
-		done <- outcome{resp: s.check(name, string(body), r.URL.Query().Get("trace") == "1",
+		done <- outcome{resp: s.check(root, name, string(body), r.URL.Query().Get("trace") == "1",
 			r.URL.Query().Get("dedupe") == "1")}
 	}()
 
 	select {
 	case out := <-done:
+		enc := root.StartChild("encode")
 		out.resp.ElapsedMS = float64(span.End()) / float64(time.Millisecond)
+		out.resp.TraceID = root.TraceID()
 		s.writeJSON(w, http.StatusOK, out.resp)
-		s.cfg.Log.Log("check.done", "file", name, "findings", out.resp.Total)
+		enc.End()
+		s.cfg.Log.Log("check.done", "file", name, "findings", out.resp.Total,
+			"trace", root.TraceID())
 	case <-ctx.Done():
 		s.cfg.Metrics.Add(CounterTimeouts, 1)
 		span.End()
 		s.timeoutResponse(w, ctx.Err())
 	}
+}
+
+// retryAfterSeconds derives the Retry-After hint for 429 responses
+// from observed load instead of a constant: the p50 check latency
+// times the requests currently in the system per worker — roughly how
+// long until a queue slot frees up — rounded up and clamped to [1,
+// 30] seconds. Before any latency sample exists it falls back to 1.
+func (s *Server) retryAfterSeconds() int {
+	ts, ok := s.cfg.Metrics.Timer(TimerCheck)
+	if !ok || ts.Count == 0 || ts.P50 <= 0 {
+		return 1
+	}
+	wait := ts.P50 * float64(s.admitted.Load()) / float64(s.cfg.Workers)
+	secs := int(math.Ceil(wait))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // check runs the per-request analysis: parse + dataflow via the shared
@@ -122,16 +172,27 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // code path cmd/taintcheck runs, so findings match the CLI byte for
 // byte on the same input. The store snapshot is taken once here, so a
 // concurrent reload never changes the spec mid-check.
-func (s *Server) check(name, source string, withTrace, dedupe bool) *CheckResponse {
+//
+// The front-end reports parse and dataflow time only after the fact,
+// so those stages become retroactive child spans (AddChildAt) tiling
+// the front-end wall; taint runs under a live child span.
+func (s *Server) check(root *trace.Span, name, source string, withTrace, dedupe bool) *CheckResponse {
 	st := s.currentStore()
+	root.SetAttr("store", st.fingerprint)
 	span := s.cfg.Metrics.Start(TimerAnalyze)
+	feStart := time.Now()
 	fe := core.AnalyzeFiles(map[string]string{name: source},
 		core.Config{Workers: 1, Metrics: s.cfg.Metrics})
+	root.AddChildAt("parse", feStart, fe.ParseTotal)
+	root.AddChildAt("dataflow", feStart.Add(fe.ParseTotal), fe.AnalyzeTotal)
+	ts := root.StartChild("taint")
 	union := propgraph.Union(fe.Graphs...)
 	reports := taint.Analyze(union, st.spec)
 	if dedupe {
 		reports = taint.Dedupe(reports)
 	}
+	ts.SetAttr("findings", len(reports))
+	ts.End()
 	span.End()
 
 	resp := &CheckResponse{File: name, Findings: []Finding{}}
@@ -189,8 +250,6 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "specs", http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.cfg.Metrics.Add(CounterRequests, 1)
-	s.cfg.Metrics.Add(CounterRequests+".specs", 1)
 
 	roleFilter := r.URL.Query().Get("role")
 	if roleFilter != "" && roleFilter != "source" && roleFilter != "sanitizer" && roleFilter != "sink" {
@@ -259,10 +318,10 @@ type HealthResponse struct {
 	UptimeS        float64 `json:"uptime_s"`
 }
 
-// handleHealthz implements GET /v1/healthz.
+// handleHealthz implements GET /v1/healthz: liveness — answers 200 as
+// long as the process serves, draining or not. Readiness (should this
+// instance receive new traffic?) is /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.cfg.Metrics.Add(CounterRequests, 1)
-	s.cfg.Metrics.Add(CounterRequests+".healthz", 1)
 	st := s.currentStore()
 	s.writeJSON(w, http.StatusOK, &HealthResponse{
 		Status:           "ok",
@@ -275,6 +334,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight:         s.inflight.Load(),
 		UptimeS:          time.Since(s.start).Seconds(),
 	})
+}
+
+// ReadyResponse is the /v1/readyz response body.
+type ReadyResponse struct {
+	Ready    bool   `json:"ready"`
+	Reason   string `json:"reason,omitempty"`
+	Inflight int64  `json:"inflight"`
+}
+
+// handleReadyz implements GET /v1/readyz: readiness for load balancers
+// and deploy orchestration. It answers 503 the moment Run starts
+// draining (while /v1/healthz still answers 200 against the open
+// listener) and before a specification store is loaded, so rolling
+// restarts stop routing new traffic without killing in-flight checks.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.fail(w, "readyz", http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.currentStore()
+	resp := &ReadyResponse{Ready: true, Inflight: s.inflight.Load()}
+	code := http.StatusOK
+	switch {
+	case s.draining.Load():
+		resp.Ready, resp.Reason = false, "draining"
+		code = http.StatusServiceUnavailable
+	case st.spec == nil:
+		resp.Ready, resp.Reason = false, "no specification store loaded"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
 }
 
 // ReloadResponse is the /v1/reload response body.
@@ -297,8 +388,6 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "reload", http.StatusMethodNotAllowed, "POST to reload the spec store")
 		return
 	}
-	s.cfg.Metrics.Add(CounterRequests, 1)
-	s.cfg.Metrics.Add(CounterRequests+".reload", 1)
 
 	if s.cfg.StorePath == "" {
 		s.fail(w, "reload", http.StatusConflict,
@@ -336,9 +425,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. TraceID is present on
+// routes that run under a trace (check), so a failed request can be
+// looked up in /debug/traces.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) timeoutResponse(w http.ResponseWriter, err error) {
@@ -349,8 +441,13 @@ func (s *Server) fail(w http.ResponseWriter, route string, code int, msg string)
 	if code != http.StatusTooManyRequests {
 		s.cfg.Metrics.Add(CounterErrors, 1)
 	}
-	s.cfg.Log.Log("http.error", "route", route, "code", code, "err", msg)
-	s.writeJSON(w, code, &errorResponse{Error: msg})
+	tid := w.Header().Get("X-Trace-Id")
+	if tid != "" {
+		s.cfg.Log.Log("http.error", "route", route, "code", code, "err", msg, "trace", tid)
+	} else {
+		s.cfg.Log.Log("http.error", "route", route, "code", code, "err", msg)
+	}
+	s.writeJSON(w, code, &errorResponse{Error: msg, TraceID: tid})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {

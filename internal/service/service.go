@@ -10,7 +10,14 @@
 //	POST /v1/check    Python source in the body → taint findings as JSON
 //	GET  /v1/specs    filtered specification lookup
 //	GET  /v1/healthz  liveness + store summary + active store fingerprint
+//	GET  /v1/readyz   readiness: 503 while draining or before the store loads
 //	POST /v1/reload   re-read the spec store and swap it in atomically
+//
+// Request-scoped tracing: every /v1/check runs under a span tree
+// (admission → queue → parse → dataflow → taint → encode) with a trace
+// ID returned in X-Trace-Id, echoed in error bodies and request logs,
+// and propagated via W3C traceparent headers in both directions. The
+// bounded ring of recent traces is served from GET /debug/traces.
 //
 // The server is built for sustained traffic: analysis runs on a bounded
 // worker pool (Config.Workers, core.Config.Workers semantics), requests
@@ -31,11 +38,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"seldon/internal/obs"
+	"seldon/internal/obs/trace"
 	"seldon/internal/spec"
 	"seldon/internal/specio"
 )
@@ -50,12 +59,21 @@ const (
 	CounterRejected = "http.rejected"
 	// CounterErrors counts non-2xx responses other than 429.
 	CounterErrors = "http.errors"
+	// CounterResponses counts responses by route and status class:
+	// CounterResponses + ".check.2xx", ".check.4xx", and so on.
+	CounterResponses = "http.responses"
 	// CounterTimeouts counts checks cancelled by the request deadline.
 	CounterTimeouts = "http.timeouts"
 	// TimerCheck is the end-to-end /v1/check latency (p50/p95 in the
 	// snapshot); TimerAnalyze is just the analysis section.
 	TimerCheck   = "http.check.latency"
 	TimerAnalyze = "http.check.analyze"
+	// TimerRoutePrefix + route is the handler-level latency of each /v1/
+	// endpoint (includes method checks and serialization, not just the
+	// analysis section); GaugeRouteInflightPrefix + route counts requests
+	// currently inside that handler.
+	TimerRoutePrefix         = "http.route.latency."
+	GaugeRouteInflightPrefix = "http.route.inflight."
 	// GaugeInflight is the number of checks currently holding a worker
 	// slot; GaugeQueued counts requests admitted but waiting for one.
 	GaugeInflight = "http.inflight"
@@ -99,6 +117,10 @@ type Config struct {
 	// Metrics and Log receive request telemetry; both may be nil.
 	Metrics *obs.Registry
 	Log     *obs.Logger
+	// Tracer records one span tree per /v1/check request in a bounded
+	// in-memory ring served from /debug/traces. Nil selects a fresh
+	// ring of trace.DefaultCapacity traces — tracing is always on.
+	Tracer *trace.Tracer
 
 	// OnReady, when non-nil, is called once with the resolved listen
 	// address after a successful bind (":0" callers learn the port).
@@ -120,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.New(0)
 	}
 	return c
 }
@@ -153,6 +178,11 @@ type Server struct {
 	sem      chan struct{}
 	admitted atomic.Int64
 	inflight atomic.Int64
+
+	// draining flips once Run begins shutdown; /v1/readyz answers 503
+	// from then on so load balancers stop routing while in-flight checks
+	// finish against the still-open listener.
+	draining atomic.Bool
 
 	// checkGate, when non-nil, blocks each check until the channel is
 	// closed — test hook for saturation and drain tests.
@@ -199,14 +229,58 @@ func (s *Server) swapStore(st storeState) {
 }
 
 // Handler returns the full mux: the /v1/ endpoints plus the operator
-// surface (/metrics, /metrics.txt, /debug/pprof/).
+// surface (/metrics, /metrics.txt, /metrics.prom, /debug/pprof/,
+// /debug/traces).
 func (s *Server) Handler() http.Handler {
 	mux := obs.NewServeMux(s.cfg.Metrics)
-	mux.HandleFunc("/v1/check", s.handleCheck)
-	mux.HandleFunc("/v1/specs", s.handleSpecs)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.Handle("/v1/check", s.route("check", s.handleCheck))
+	mux.Handle("/v1/specs", s.route("specs", s.handleSpecs))
+	mux.Handle("/v1/healthz", s.route("healthz", s.handleHealthz))
+	mux.Handle("/v1/readyz", s.route("readyz", s.handleReadyz))
+	mux.Handle("/v1/reload", s.route("reload", s.handleReload))
+	mux.Handle("/debug/traces", trace.Handler(s.cfg.Tracer))
 	return mux
+}
+
+// statusWriter captures the response status code for the per-route
+// status-class counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// route wraps a handler with the uniform per-route telemetry: the
+// global and per-route request counters, a handler-latency timer, an
+// inflight gauge, and a status-class response counter. Individual
+// handlers only record what is specific to them.
+func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.cfg.Metrics.Add(CounterRequests, 1)
+		s.cfg.Metrics.Add(CounterRequests+"."+name, 1)
+		s.cfg.Metrics.GaugeAdd(GaugeRouteInflightPrefix+name, 1)
+		t := s.cfg.Metrics.Start(TimerRoutePrefix + name)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		t.End()
+		s.cfg.Metrics.GaugeAdd(GaugeRouteInflightPrefix+name, -1)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.cfg.Metrics.Add(CounterResponses+"."+name+"."+strconv.Itoa(code/100)+"xx", 1)
+	})
 }
 
 // errBusy is returned by admit when the queue is full.
@@ -275,9 +349,11 @@ func (s *Server) Start(addr string) (*http.Server, <-chan error, error) {
 }
 
 // Run serves addr until ctx is cancelled (typically by SIGINT/SIGTERM
-// via signal.NotifyContext), then shuts down gracefully: the listener
-// stops accepting and in-flight requests drain for up to
-// Config.DrainTimeout. A listener error also ends the run.
+// via signal.NotifyContext), then shuts down gracefully in two phases:
+// first /v1/readyz flips to 503 while the listener stays open — load
+// balancers stop routing but in-flight and already-queued checks keep
+// draining — then, once admitted work reaches zero (or DrainTimeout
+// elapses), the listener closes. A listener error also ends the run.
 func (s *Server) Run(ctx context.Context, addr string) error {
 	srv, errc, err := s.Start(addr)
 	if err != nil {
@@ -288,8 +364,13 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.cfg.Log.Log("service.drain", "inflight", s.inflight.Load())
-	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	s.draining.Store(true)
+	s.cfg.Log.Log("service.drain", "inflight", s.inflight.Load(), "admitted", s.admitted.Load())
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for s.admitted.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	drainCtx, cancel := context.WithDeadline(context.Background(), deadline.Add(time.Second))
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return err

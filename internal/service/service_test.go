@@ -283,10 +283,29 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}()
 	waitFor(t, "request in flight", func() bool { return s.inflight.Load() == 1 })
 
-	// Trigger shutdown (the SIGINT/SIGTERM path), then let the check
-	// finish: the server must drain it, not cut the connection.
+	// Trigger shutdown (the SIGINT/SIGTERM path). While the in-flight
+	// check drains, the listener stays up with readiness flipped: load
+	// balancers see /v1/readyz 503 and stop routing, but /v1/healthz
+	// still answers 200 — the process is alive, just not accepting.
 	cancel()
-	time.Sleep(20 * time.Millisecond) // let Shutdown begin
+	waitFor(t, "readyz 503 during drain", func() bool {
+		resp, err := http.Get("http://" + addr + "/v1/readyz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	hresp, err := http.Get("http://" + addr + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz during drain: %v", err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness)", hresp.StatusCode)
+	}
 	close(gate)
 
 	if code := <-result; code != http.StatusOK {
