@@ -5,17 +5,45 @@ import (
 	"net"
 	"net/http"
 	netpprof "net/http/pprof"
+	"strconv"
 	"strings"
 )
 
+// acceptsProm reports whether an Accept header asks for the Prometheus
+// text exposition: a text/plain or application/openmetrics-text media
+// range with a nonzero q-value. It parses media ranges rather than
+// substring-matching, because "text/plain;q=0" explicitly refuses the
+// type — a client sending it must keep getting the JSON snapshot.
+func acceptsProm(accept string) bool {
+	for _, rng := range strings.Split(accept, ",") {
+		params := strings.Split(rng, ";")
+		mediaType := strings.ToLower(strings.TrimSpace(params[0]))
+		if mediaType != "text/plain" && mediaType != "application/openmetrics-text" {
+			continue
+		}
+		q := 1.0
+		for _, p := range params[1:] {
+			if v, ok := strings.CutPrefix(strings.ToLower(strings.TrimSpace(p)), "q="); ok {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					q = f
+				}
+			}
+		}
+		if q > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Handler serves the registry's snapshot, content-negotiated: a
-// Prometheus scrape (Accept mentioning text/plain or openmetrics) gets
-// the text exposition, everything else the JSON snapshot (nil registry
-// → empty snapshot, still valid either way).
+// Prometheus scrape (an Accept media range of text/plain or
+// application/openmetrics-text with nonzero q) gets the text
+// exposition, everything else the JSON snapshot (nil registry → empty
+// snapshot, still valid either way).
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		accept := req.Header.Get("Accept")
-		if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+		if acceptsProm(req.Header.Get("Accept")) {
 			PromHandler(r).ServeHTTP(w, req)
 			return
 		}

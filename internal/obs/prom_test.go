@@ -186,6 +186,25 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		t.Errorf("negotiated scrape missing counter:\n%s", rec.Body.String())
 	}
 
+	// text/plain with q=0 explicitly refuses the type: a pre-existing
+	// JSON client sending it must keep getting JSON, not the exposition.
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain;q=0, application/json")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+		t.Errorf("q=0 content type = %q, want JSON", ct)
+	}
+
+	// A bare text/plain (no parameters) still negotiates to Prometheus.
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Header().Get("Content-Type") != PromContentType {
+		t.Errorf("bare text/plain content type = %q", rec.Header().Get("Content-Type"))
+	}
+
 	// /metrics.prom is unconditional.
 	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.prom", nil))

@@ -94,16 +94,20 @@ func New(capacity int) *Tracer {
 
 // traceBuf accumulates the finished spans of one in-flight trace. Spans
 // of a trace may end on different goroutines (worker handoff), so the
-// buffer carries its own lock.
+// buffer carries its own lock. Once the root span publishes the trace
+// the buffer is closed: stragglers — e.g. an analysis goroutine still
+// running after its request timed out — are counted as dropped rather
+// than recorded, so a published TraceData is never touched again.
 type traceBuf struct {
 	mu      sync.Mutex
 	spans   []SpanData
 	dropped int
+	closed  bool
 }
 
 func (b *traceBuf) add(sd SpanData) {
 	b.mu.Lock()
-	if len(b.spans) >= maxSpansPerTrace {
+	if b.closed || len(b.spans) >= maxSpansPerTrace {
 		b.dropped++
 	} else {
 		b.spans = append(b.spans, sd)
@@ -270,8 +274,17 @@ func (s *Span) End() time.Duration {
 		s.buf.add(sd)
 		return d
 	}
+	// Copy into a fresh array before publishing: appending to the
+	// buffer's own slice would alias its backing array, and a child span
+	// ending after the root (timed-out request, worker still running)
+	// would then overwrite the published — supposedly immutable — trace
+	// concurrently with /debug/traces readers. Closing the buffer makes
+	// those stragglers count as dropped instead.
 	s.buf.mu.Lock()
-	spans := append(s.buf.spans, sd) // root last
+	s.buf.closed = true
+	spans := make([]SpanData, 0, len(s.buf.spans)+1)
+	spans = append(spans, s.buf.spans...)
+	spans = append(spans, sd) // root last
 	dropped := s.buf.dropped
 	s.buf.mu.Unlock()
 	s.tracer.push(TraceData{

@@ -189,6 +189,68 @@ func TestSpanCapPerTrace(t *testing.T) {
 	}
 }
 
+// TestLateSpanAfterRootEnd pins the publish path against the
+// timed-out-request shape: the handler's deferred root.End publishes
+// the trace while the analysis goroutine keeps running and ends child
+// spans afterwards. Those stragglers must be dropped, not appended —
+// appending would write through the published TraceData's backing
+// array, mutating a snapshot documented as immutable.
+func TestLateSpanAfterRootEnd(t *testing.T) {
+	tr := New(2)
+	root := tr.StartRoot("r")
+	early := root.StartChild("early")
+	early.End()
+	late := root.StartChild("late")
+	root.End()
+
+	late.End()
+	root.AddChildAt("later-still", time.Now(), 0)
+
+	td := tr.Traces()[0]
+	if len(td.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (early + root)", len(td.Spans))
+	}
+	for _, sd := range td.Spans {
+		if sd.Name == "late" || sd.Name == "later-still" {
+			t.Errorf("straggler span %q recorded after publish", sd.Name)
+		}
+	}
+	if td.Spans[len(td.Spans)-1].Name != "r" {
+		t.Errorf("root not last: %+v", td.Spans)
+	}
+}
+
+// TestLateSpanRace drives the same shape under the race detector:
+// stragglers keep ending while readers marshal the published ring.
+func TestLateSpanRace(t *testing.T) {
+	tr := New(4)
+	root := tr.StartRoot("r")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			root.AddChildAt("c", time.Now(), time.Duration(i))
+		}
+	}()
+	root.End()
+	for i := 0; i < 200; i++ {
+		if traces := tr.Traces(); len(traces) > 0 {
+			if _, err := json.Marshal(traces); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestContextHelpers(t *testing.T) {
 	tr := New(4)
 	ctx := context.Background()

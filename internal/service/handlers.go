@@ -146,12 +146,15 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 }
 
 // retryAfterSeconds derives the Retry-After hint for 429 responses
-// from observed load instead of a constant: the p50 check latency
-// times the requests currently in the system per worker — roughly how
-// long until a queue slot frees up — rounded up and clamped to [1,
-// 30] seconds. Before any latency sample exists it falls back to 1.
+// from observed load instead of a constant: the p50 analysis service
+// time times the requests currently in the system per worker — roughly
+// how long until a queue slot frees up — rounded up and clamped to
+// [1, 30] seconds. The estimate uses TimerAnalyze, not TimerCheck:
+// end-to-end check latency already includes queue wait, and scaling it
+// by the queue length would double-count queueing delay. Before any
+// latency sample exists it falls back to 1.
 func (s *Server) retryAfterSeconds() int {
-	ts, ok := s.cfg.Metrics.Timer(TimerCheck)
+	ts, ok := s.cfg.Metrics.Timer(TimerAnalyze)
 	if !ok || ts.Count == 0 || ts.P50 <= 0 {
 		return 1
 	}

@@ -172,8 +172,10 @@ func TestReadyzSplitFromHealthz(t *testing.T) {
 }
 
 // TestRetryAfterComputed pins the 429 Retry-After hint to the formula
-// p50 × admitted / workers (ceil, clamped to [1, 30]) instead of the
-// old hardcoded "1".
+// p50 service time × admitted / workers (ceil, clamped to [1, 30])
+// instead of the old hardcoded "1". The p50 comes from TimerAnalyze —
+// end-to-end TimerCheck already contains queue wait, which the
+// admitted/workers factor would double-count.
 func TestRetryAfterComputed(t *testing.T) {
 	saturateAnd429 := func(t *testing.T, reg *obs.Registry) string {
 		s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg})
@@ -207,7 +209,7 @@ func TestRetryAfterComputed(t *testing.T) {
 	t.Run("derived from p50 and queue depth", func(t *testing.T) {
 		reg := obs.New()
 		for i := 0; i < 5; i++ {
-			reg.Observe(TimerCheck, 2.0) // seconds
+			reg.Observe(TimerAnalyze, 2.0) // seconds
 		}
 		// p50=2s, 2 admitted ahead, 1 worker → ceil(2*2/1) = 4s.
 		if got := saturateAnd429(t, reg); got != "4" {
@@ -217,7 +219,7 @@ func TestRetryAfterComputed(t *testing.T) {
 	t.Run("clamped to 30", func(t *testing.T) {
 		reg := obs.New()
 		for i := 0; i < 5; i++ {
-			reg.Observe(TimerCheck, 100.0)
+			reg.Observe(TimerAnalyze, 100.0)
 		}
 		if got := saturateAnd429(t, reg); got != "30" {
 			t.Errorf("Retry-After = %q, want 30", got)
