@@ -2,7 +2,7 @@ GO ?= go
 
 # bench-json snapshot name; parameterized so each PR's snapshot
 # (BENCH_<pr>.json) doesn't overwrite the last.
-BENCH ?= BENCH_6.json
+BENCH ?= BENCH_7.json
 
 .PHONY: build test vet race verify bench bench-json serve loadsmoke load
 
@@ -32,9 +32,13 @@ verify: vet race build test loadsmoke
 # seconds of closed-loop load through /v1/check, and fails on any
 # 5xx/transport error or an empty /debug/traces ring — the cheapest
 # end-to-end check that serving, tracing, and exposition all work.
+# A second pass replays a duplicate-heavy mix (-dup 0.8) and must come
+# back with zero 5xx AND a nonzero check-cache hit rate, so a broken
+# cache key or invalidation fails CI, not just a slow run.
 loadsmoke:
 	$(GO) run ./cmd/seldon -generate 60 -o .smokespecs.json >/dev/null && \
-	$(GO) run ./cmd/seldonload -specs .smokespecs.json -duration 2s -warmup 200ms -c 4 -smoke; \
+	$(GO) run ./cmd/seldonload -specs .smokespecs.json -duration 2s -warmup 200ms -c 4 -smoke && \
+	$(GO) run ./cmd/seldonload -specs .smokespecs.json -duration 2s -warmup 200ms -c 4 -dup 0.8 -smoke; \
 	st=$$?; rm -f .smokespecs.json; exit $$st
 
 # load runs a longer self-served closed-loop measurement and prints the
@@ -50,18 +54,25 @@ bench:
 # cache.* counters and warm speedup, intern.* gauges) of a representative
 # parallel run: a cold pass populates a throwaway analysis cache, then
 # the warm pass — the one snapshotted — replays it with every file a hit.
-# The interning/union microbenchmarks are merged into the same file as
-# bench.* gauges (ns_op, B_op, allocs_op), and a self-served seldonload
-# run adds a "load" section (serving p50/p95/p99 + throughput) so the
-# snapshot carries the serving SLO trajectory alongside the learning one.
+# The interning/union/check-handler microbenchmarks are merged into the
+# same file as bench.* gauges (ns_op, B_op, allocs_op), and self-served
+# seldonload runs add three load sections: "load" (cycled corpus,
+# cache-assisted), "load_dup" (duplicate-heavy -dup 0.8 mix, the shape
+# the check cache and coalescing exist for), and "load_dup_cold" (the
+# same mix with the cache disabled) — so the snapshot itself carries the
+# cache-on/cache-off comparison.
 bench-json:
 	rm -rf .benchcache && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -o .benchspecs.json >/dev/null && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -metrics-json $(BENCH) >/dev/null && \
 	rm -rf .benchcache && \
-	$(GO) test -run='^$$' -bench='BenchmarkConstraintsBuild|BenchmarkUnion' -benchmem \
-		./internal/constraints/ ./internal/propgraph/ | $(GO) run ./cmd/benchjson -into $(BENCH) && \
+	$(GO) test -run='^$$' -bench='BenchmarkConstraintsBuild|BenchmarkUnion|BenchmarkCheckHandler' -benchmem \
+		./internal/constraints/ ./internal/propgraph/ ./internal/service/ | $(GO) run ./cmd/benchjson -into $(BENCH) && \
 	$(GO) run ./cmd/seldonload -specs .benchspecs.json -duration 3s -warmup 500ms -c 4 -into $(BENCH) >/dev/null && \
+	$(GO) run ./cmd/seldonload -specs .benchspecs.json -duration 3s -warmup 500ms -c 8 -dup 0.8 \
+		-section load_dup -into $(BENCH) >/dev/null && \
+	$(GO) run ./cmd/seldonload -specs .benchspecs.json -duration 3s -warmup 500ms -c 8 -dup 0.8 \
+		-check-cache-entries 0 -section load_dup_cold -into $(BENCH) >/dev/null && \
 	rm -f .benchspecs.json
 
 # serve learns a spec store (if absent) and boots the taint service on

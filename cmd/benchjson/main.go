@@ -91,6 +91,8 @@ func parseBenchLine(line string) (string, map[string]float64, bool) {
 			name = name[:i]
 		}
 	}
+	// Sub-benchmarks (Name/case) become dotted gauge segments.
+	name = strings.ReplaceAll(name, "/", ".")
 	values := map[string]float64{}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

@@ -24,6 +24,11 @@
 //
 // The operator surface (/metrics, /metrics.txt, /debug/pprof/) shares
 // the service mux, so one port carries traffic and telemetry.
+//
+// Repeated checks are served from a bounded in-memory result cache and
+// concurrent identical checks coalesce onto one analysis; size the
+// cache with -check-cache-entries / -check-cache-bytes (0 turns both
+// layers off). Hit rates and pool stats surface in /v1/healthz.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"seldon/internal/checkcache"
 	"seldon/internal/obs"
 	"seldon/internal/obs/trace"
 	"seldon/internal/service"
@@ -51,7 +57,11 @@ func main() {
 		maxBody   = flag.Int64("max-body", 1<<20, "request body cap in bytes (413 when exceeded)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		traceRing = flag.Int("trace-ring", 0, "recent request traces kept for /debug/traces (0 = 256)")
-		verbose   = flag.Bool("v", false, "log requests and lifecycle events to stderr")
+		cacheEnt  = flag.Int("check-cache-entries", checkcache.DefaultMaxEntries,
+			"check-result cache entry cap (0 disables the cache and coalescing)")
+		cacheBytes = flag.Int64("check-cache-bytes", checkcache.DefaultMaxBytes,
+			"check-result cache byte cap (0 disables the cache and coalescing)")
+		verbose = flag.Bool("v", false, "log requests and lifecycle events to stderr")
 	)
 	flag.Parse()
 
@@ -67,19 +77,28 @@ func main() {
 	if *verbose {
 		logger = obs.NewLogger(os.Stderr)
 	}
+	// On the CLI "0" reads as "off"; the library uses negative for off
+	// and 0 for "default", so translate here.
+	entries, capBytes := *cacheEnt, *cacheBytes
+	if entries <= 0 || capBytes <= 0 {
+		entries, capBytes = -1, -1
+	}
+
 	reg := obs.New()
 	srv := service.New(service.Config{
-		Spec:           sp,
-		Meta:           meta,
-		StorePath:      *specsPath,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		DrainTimeout:   *drain,
-		Metrics:        reg,
-		Log:            logger,
-		Tracer:         trace.New(*traceRing),
+		Spec:              sp,
+		Meta:              meta,
+		StorePath:         *specsPath,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		RequestTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		DrainTimeout:      *drain,
+		CheckCacheEntries: entries,
+		CheckCacheBytes:   capBytes,
+		Metrics:           reg,
+		Log:               logger,
+		Tracer:            trace.New(*traceRing),
 		OnReady: func(addr string) {
 			fmt.Printf("seldond: listening on %s\n", addr)
 		},

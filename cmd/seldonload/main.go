@@ -17,6 +17,13 @@
 // shapes rather than one cached input. A warmup window is measured but
 // discarded from the report.
 //
+// -dup P skews the body mix toward duplicates: with probability P a
+// request re-sends one of a small hot head of the corpus, Zipf-weighted
+// (rank r drawn ∝ 1/r), instead of cycling — the shape real serving
+// traffic has, and the one the server's check-result cache and
+// single-flight coalescing exist for. The draw is a deterministic hash
+// of the request index, so two runs offer the same sequence.
+//
 // Usage:
 //
 //	seldonload -addr http://127.0.0.1:8647 -c 8 -duration 10s
@@ -27,6 +34,7 @@
 //	                                                   # section into a snapshot
 //	seldonload -specs specs.json -duration 2s -smoke   # exit 1 on any 5xx
 //	                                                   # or an empty trace ring
+//	seldonload -specs specs.json -dup 0.8 -section load_dup -into BENCH.json
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seldon/internal/checkcache"
 	"seldon/internal/corpus"
 	"seldon/internal/service"
 	"seldon/internal/specio"
@@ -70,6 +79,15 @@ type Report struct {
 	NetErrors   int     `json:"net_errors"`
 	Timeouts    int     `json:"timeouts"`
 	TraceRing   int     `json:"trace_ring,omitempty"`
+
+	// DupFraction echoes -dup; the cache fields are read back from the
+	// target's /v1/healthz after the run (absent when the target serves
+	// with its check cache disabled).
+	DupFraction  float64 `json:"dup_fraction,omitempty"`
+	CacheHits    int64   `json:"cache_hits,omitempty"`
+	CacheMisses  int64   `json:"cache_misses,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	Coalesced    int64   `json:"coalesced,omitempty"`
 }
 
 // collector accumulates one sample per completed request; samples that
@@ -100,12 +118,21 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "measured run length (after warmup)")
 		warmup   = flag.Duration("warmup", time.Second, "warmup window, measured but discarded")
 		nfiles   = flag.Int("corpus", 32, "synthetic corpus size cycled through as request bodies")
+		dup      = flag.Float64("dup", 0, "fraction of requests re-sending a Zipf-weighted hot body (0 = cycle the corpus)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
 		jsonOut  = flag.Bool("json", false, "print the report as JSON instead of text")
-		into     = flag.String("into", "", "merge the report as a \"load\" section into this JSON snapshot file")
-		smoke    = flag.Bool("smoke", false, "exit 1 if any 5xx/transport error occurred or the trace ring is empty")
+		into     = flag.String("into", "", "merge the report as a section into this JSON snapshot file")
+		section  = flag.String("section", "load", "top-level key the report is merged under with -into")
+		cacheEnt = flag.Int("check-cache-entries", checkcache.DefaultMaxEntries,
+			"self-serve: check-result cache entry cap (0 disables cache and coalescing)")
+		cacheBytes = flag.Int64("check-cache-bytes", checkcache.DefaultMaxBytes,
+			"self-serve: check-result cache byte cap (0 disables cache and coalescing)")
+		smoke = flag.Bool("smoke", false, "exit 1 on any 5xx/transport error, an empty trace ring, or (with -dup) a cold cache")
 	)
 	flag.Parse()
+	if *dup < 0 || *dup > 1 {
+		fatal(fmt.Errorf("-dup must be in [0, 1]"))
+	}
 
 	if *addr == "" && *specs == "" {
 		fatal(fmt.Errorf("need -addr (running seldond) or -specs (self-serve)"))
@@ -115,7 +142,7 @@ func main() {
 	var shutdown func()
 	if *specs != "" {
 		var err error
-		base, shutdown, err = selfServe(*specs)
+		base, shutdown, err = selfServe(*specs, *cacheEnt, *cacheBytes)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,7 +150,7 @@ func main() {
 	}
 	base = normalizeBase(base)
 
-	bodies := corpusBodies(*nfiles)
+	pick := bodyPicker(corpusBodies(*nfiles), *dup)
 	client := &http.Client{
 		Timeout:   *timeout,
 		Transport: &http.Transport{MaxIdleConnsPerHost: *conc + 8},
@@ -137,7 +164,7 @@ func main() {
 	measureFrom := start.Add(*warmup)
 	deadline := start.Add(*warmup + *duration)
 	fire := func(i int) {
-		body := bodies[i%len(bodies)]
+		body := pick(i)
 		s := sample{start: time.Now()}
 		resp, err := client.Post(base+"/v1/check?dedupe=1", "text/x-python",
 			bytes.NewReader([]byte(body)))
@@ -170,12 +197,14 @@ func main() {
 		rep.Concurrency = *conc
 	}
 	rep.TraceRing = traceRingSize(client, base)
+	rep.DupFraction = *dup
+	fillCacheStats(client, base, &rep)
 
 	if *into != "" {
-		if err := mergeInto(*into, rep); err != nil {
+		if err := mergeInto(*into, *section, rep); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "seldonload: merged load section into %s\n", *into)
+		fmt.Fprintf(os.Stderr, "seldonload: merged %s section into %s\n", *section, *into)
 	}
 	if *jsonOut {
 		out, err := json.MarshalIndent(rep, "", "  ")
@@ -202,8 +231,82 @@ func main() {
 		if rep.OK == 0 {
 			fatal(fmt.Errorf("smoke: no successful requests"))
 		}
+		// A duplicate-heavy mix against a cache-enabled target must show
+		// actual reuse — a cold hit rate means the cache key or the
+		// invalidation went wrong, not that the run was merely slow.
+		if *dup > 0 && *cacheEnt > 0 && *cacheBytes > 0 {
+			if rep.CacheHits == 0 {
+				fatal(fmt.Errorf("smoke: -dup %.2f run finished with zero cache hits (misses=%d)",
+					*dup, rep.CacheMisses))
+			}
+		}
 		fmt.Fprintln(os.Stderr, "seldonload: smoke OK")
 	}
+}
+
+// bodyPicker maps a request index to its body. With dup = 0 the corpus
+// cycles; otherwise a deterministic hash of the index decides between a
+// Zipf-weighted draw from the hot head (probability dup) and the cycle,
+// so every run offers the same request sequence.
+func bodyPicker(bodies []string, dup float64) func(int) string {
+	if dup <= 0 {
+		return func(i int) string { return bodies[i%len(bodies)] }
+	}
+	hot := len(bodies)
+	if hot > 8 {
+		hot = 8
+	}
+	cum := make([]float64, hot)
+	total := 0.0
+	for r := 0; r < hot; r++ {
+		total += 1 / float64(r+1)
+		cum[r] = total
+	}
+	return func(i int) string {
+		if unitFloat(mix(uint64(i)*2+1)) >= dup {
+			return bodies[i%len(bodies)]
+		}
+		u := unitFloat(mix(uint64(i)*2+2)) * total
+		for r := 0; r < hot; r++ {
+			if u <= cum[r] {
+				return bodies[r]
+			}
+		}
+		return bodies[hot-1]
+	}
+}
+
+// mix is a splitmix64-style finalizer: a stateless stand-in for a
+// seeded RNG that keeps the request sequence identical across runs and
+// Go versions.
+func mix(x uint64) uint64 {
+	x = x*6364136223846793005 + 1442695040888963407
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// unitFloat maps 53 high bits onto [0, 1).
+func unitFloat(x uint64) float64 { return float64(x>>11) / float64(1<<53) }
+
+// fillCacheStats copies the target's check-cache counters into the
+// report (left zero when the target disables the cache or is not a
+// seldond).
+func fillCacheStats(client *http.Client, base string, rep *Report) {
+	resp, err := client.Get(base + "/v1/healthz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var h service.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.CheckCache == nil {
+		return
+	}
+	rep.CacheHits = h.CheckCache.Hits
+	rep.CacheMisses = h.CheckCache.Misses
+	rep.CacheHitRate = h.CheckCache.HitRate
+	rep.Coalesced = h.CheckCache.Coalesced
 }
 
 // runClosed keeps exactly workers requests in flight until deadline.
@@ -315,6 +418,10 @@ func printText(r Report) {
 	if r.TraceRing > 0 {
 		fmt.Printf("server trace ring holds %d traces (/debug/traces)\n", r.TraceRing)
 	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Printf("check cache: %d hits / %d misses (%.0f%% hit rate), %d coalesced\n",
+			r.CacheHits, r.CacheMisses, 100*r.CacheHitRate, r.Coalesced)
+	}
 }
 
 // normalizeBase accepts ":8647", "host:8647", or a full URL and
@@ -331,13 +438,20 @@ func normalizeBase(base string) string {
 }
 
 // selfServe boots the service in-process on a loopback port so smoke
-// and bench runs need no external seldond or port coordination.
-func selfServe(specsPath string) (base string, shutdown func(), err error) {
+// and bench runs need no external seldond or port coordination. The
+// cache caps follow the seldond CLI convention: 0 disables.
+func selfServe(specsPath string, cacheEntries int, cacheBytes int64) (base string, shutdown func(), err error) {
 	sp, meta, err := specio.Load(specsPath)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := service.New(service.Config{Spec: sp, Meta: meta, StorePath: specsPath})
+	if cacheEntries <= 0 || cacheBytes <= 0 {
+		cacheEntries, cacheBytes = -1, -1
+	}
+	srv := service.New(service.Config{
+		Spec: sp, Meta: meta, StorePath: specsPath,
+		CheckCacheEntries: cacheEntries, CheckCacheBytes: cacheBytes,
+	})
 	httpSrv, _, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
@@ -388,10 +502,12 @@ func traceRingSize(client *http.Client, base string) int {
 	return dump.Buffered
 }
 
-// mergeInto writes the report under a top-level "load" key of an
+// mergeInto writes the report under a top-level section key of an
 // existing JSON snapshot (creating the file if absent), preserving all
-// other sections — the BENCH_N.json counterpart of benchjson.
-func mergeInto(path string, rep Report) error {
+// other sections — the BENCH_N.json counterpart of benchjson. Distinct
+// -section names let one snapshot carry several load profiles (cycled,
+// duplicate-heavy, cache-disabled baseline) side by side.
+func mergeInto(path, section string, rep Report) error {
 	doc := map[string]any{}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &doc); err != nil {
@@ -400,7 +516,7 @@ func mergeInto(path string, rep Report) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	doc["load"] = rep
+	doc[section] = rep
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

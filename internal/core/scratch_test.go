@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"seldon/internal/corpus"
+	"seldon/internal/obs"
+)
+
+// A reused Scratch must never leak state between files: analyzing a
+// corpus sequentially through one scratch has to produce graphs
+// byte-identical to fresh-allocation runs.
+func TestScratchReuseDeterminism(t *testing.T) {
+	files := corpus.Generate(corpus.Config{Files: 12}).FileMap()
+
+	fresh := AnalyzeFiles(files, Config{Workers: 1})
+	sc := &Scratch{}
+	pooled := AnalyzeFiles(files, Config{Workers: 1, Scratch: sc})
+	// Run again with the now-dirty scratch: retained buffers from the
+	// first pass must not change anything.
+	pooled2 := AnalyzeFiles(files, Config{Workers: 1, Scratch: sc})
+
+	for i := range fresh.Graphs {
+		want := fresh.Graphs[i].AppendBinary(nil)
+		for run, fe := range []*FrontEnd{pooled, pooled2} {
+			if got := fe.Graphs[i].AppendBinary(nil); string(got) != string(want) {
+				t.Fatalf("scratch run %d: graph %q differs from fresh analysis", run+1, fresh.Names[i])
+			}
+		}
+	}
+}
+
+// On a fully warm cache run parse+dataflow never execute and the
+// parallel-speedup ratio is unmeasurable: the gauge must be omitted,
+// not published as 0 (BENCH_6 regression).
+func TestFrontendSpeedupOmittedWhenFullyCached(t *testing.T) {
+	files := corpus.Generate(corpus.Config{Files: 6}).FileMap()
+	cache := openCache(t)
+
+	reg := obs.New()
+	AnalyzeFiles(files, Config{Workers: 2, Cache: cache, Metrics: reg})
+	if _, ok := reg.Snapshot().Gauges[obs.GaugeFrontendSpeedup]; !ok {
+		t.Fatalf("%s missing on a cold run", obs.GaugeFrontendSpeedup)
+	}
+
+	warm := obs.New()
+	fe := AnalyzeFiles(files, Config{Workers: 2, Cache: cache, Metrics: warm})
+	if fe.CacheHits != len(files) {
+		t.Fatalf("warm run: %d/%d hits", fe.CacheHits, len(files))
+	}
+	if v, ok := warm.Snapshot().Gauges[obs.GaugeFrontendSpeedup]; ok {
+		t.Fatalf("%s = %v on a fully warm run, want gauge omitted", obs.GaugeFrontendSpeedup, v)
+	}
+}

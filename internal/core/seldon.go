@@ -39,6 +39,13 @@ type Config struct {
 	// parse+dataflow and writes back on miss. Results are byte-identical
 	// with or without it, from any mix of hits and misses.
 	Cache *fpcache.Cache
+	// Scratch, when non-nil, donates reusable per-file parse+dataflow
+	// buffers (token slice, analyzer tables) to the front-end. It is
+	// consulted only on the sequential path (one worker) — callers that
+	// run one file per request (the serving hot path) pool these across
+	// requests; the parallel corpus path allocates per worker as before.
+	// Results are byte-identical with or without it.
+	Scratch *Scratch
 	// Metrics, when non-nil, receives stage timers, per-file timings,
 	// parse-error counters, and the solver convergence trace. Nil keeps
 	// the pipeline on its telemetry-free fast path.

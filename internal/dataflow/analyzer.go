@@ -21,6 +21,27 @@ type Options struct {
 	// Metrics, when non-nil, receives per-module analysis counters
 	// (modules, functions, graph events).
 	Metrics *obs.Registry
+	// Scratch, when non-nil, donates reusable analyzer state (the import
+	// table and function-order list) so hot loops re-analyzing many
+	// modules stop reallocating it. Not safe for concurrent use; the
+	// produced graph never aliases the scratch.
+	Scratch *Scratch
+}
+
+// Scratch holds the analyzer allocations that are reusable across
+// modules. The zero value is ready to use; AnalyzeModule resets it on
+// entry, so between calls it may retain references from the previous
+// module — call Reset to scrub a pooled scratch on release.
+type Scratch struct {
+	imports map[string][]string
+	order   []*funcDef
+}
+
+// Reset clears the retained contents while keeping capacity.
+func (s *Scratch) Reset() {
+	clear(s.imports)
+	clear(s.order)
+	s.order = s.order[:0]
 }
 
 func (o Options) withDefaults() Options {
@@ -44,16 +65,28 @@ func AnalyzeSource(file, src string) (*propgraph.Graph, error) {
 // AnalyzeModule builds the propagation graph of a parsed module.
 func AnalyzeModule(mod *pyast.Module, opts Options) *propgraph.Graph {
 	a := &analyzer{
-		g:       propgraph.New(),
-		file:    mod.File,
-		opts:    opts.withDefaults(),
-		imports: make(map[string][]string),
+		g:    propgraph.New(),
+		file: mod.File,
+		opts: opts.withDefaults(),
+	}
+	if sc := a.opts.Scratch; sc != nil {
+		sc.Reset()
+		if sc.imports == nil {
+			sc.imports = make(map[string][]string)
+		}
+		a.imports = sc.imports
+		a.order = sc.order
+	} else {
+		a.imports = make(map[string][]string)
 	}
 	root := a.newFuncEnv(propgraph.RepContext{}, nil, nil)
 	a.analyzeBody(root, mod.Body)
 	// Analyze any registered functions that were never called.
 	for _, fd := range a.order {
 		a.ensureAnalyzed(fd)
+	}
+	if sc := a.opts.Scratch; sc != nil {
+		sc.order = a.order // keep the grown list for the next module
 	}
 	a.opts.Metrics.Add("dataflow.modules", 1)
 	a.opts.Metrics.Add("dataflow.functions", int64(len(a.order)))

@@ -52,7 +52,10 @@ const (
 	// GaugeWorkers is the worker-pool size the front-end used.
 	GaugeWorkers = "parallel.workers"
 	// GaugeFrontendSpeedup is per-file CPU time over front-end wall time —
-	// the effective parallel speedup of the run.
+	// the effective parallel speedup of the run. It is omitted (not set
+	// to zero) when unmeasurable: on a fully warm cache run no parse or
+	// dataflow executes, so there is no CPU time to form the ratio from —
+	// cache.speedup carries that run's number instead.
 	GaugeFrontendSpeedup = "frontend.speedup"
 
 	// Counters.
@@ -71,6 +74,24 @@ const (
 	// front-end speedup, (wall + saved) / wall.
 	GaugeCacheSaved   = "cache.saved_s"
 	GaugeCacheSpeedup = "cache.speedup"
+
+	// The serving-side check-result cache (internal/checkcache behind
+	// POST /v1/check): lookups, residency, and LRU pressure.
+	CounterCheckCacheHits      = "check.cache.hits"
+	CounterCheckCacheMisses    = "check.cache.misses"
+	CounterCheckCacheEvictions = "check.cache.evictions"
+	GaugeCheckCacheBytes       = "check.cache.bytes"
+	GaugeCheckCacheEntries     = "check.cache.entries"
+	// CounterCheckCoalesced counts /v1/check requests that piggybacked on
+	// a concurrent identical in-flight analysis (single-flight followers)
+	// instead of taking a worker slot.
+	CounterCheckCoalesced = "check.coalesced"
+
+	// Scratch-pool traffic on the serving hot path: pool.gets counts
+	// acquisitions, pool.news the subset that had to allocate a fresh
+	// scratch — their ratio is the pool's reuse rate.
+	CounterPoolGets = "pool.gets"
+	CounterPoolNews = "pool.news"
 
 	// The solver convergence trace (one point per epoch).
 	TraceSolver = "solver.convergence"

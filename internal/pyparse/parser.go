@@ -40,10 +40,43 @@ type parser struct {
 	errs []error
 }
 
+// Scratch holds the parser's reusable buffers — today the token slice,
+// the dominant per-parse allocation. A Scratch is not safe for
+// concurrent use; callers pool them (sync.Pool) and hand one to
+// ParseWith per parse. The zero value is ready to use.
+type Scratch struct {
+	toks []pytoken.Token
+}
+
+// Reset drops the buffered contents but keeps the grown capacity, so a
+// pooled Scratch never retains token literals between uses longer than
+// necessary. ParseWith resets implicitly; Reset exists for pools that
+// want to scrub on release.
+func (s *Scratch) Reset() {
+	clear(s.toks)
+	s.toks = s.toks[:0]
+}
+
 // Parse parses src into a module. The returned module contains every
 // statement that parsed successfully even when err is non-nil.
 func Parse(file, src string) (*pyast.Module, error) {
-	toks, scanErr := pytoken.ScanAll(file, src)
+	return ParseWith(nil, file, src)
+}
+
+// ParseWith is Parse with a reusable Scratch: the token buffer from
+// earlier parses is reused instead of reallocated. The resulting module
+// is independent of the scratch (AST nodes copy what they keep), so the
+// scratch can be reused immediately. A nil scratch falls back to fresh
+// allocation; output is identical either way.
+func ParseWith(sc *Scratch, file, src string) (*pyast.Module, error) {
+	var buf []pytoken.Token
+	if sc != nil {
+		buf = sc.toks
+	}
+	toks, scanErr := pytoken.ScanAllInto(file, src, buf)
+	if sc != nil {
+		sc.toks = toks // keep the (possibly grown) buffer for the next parse
+	}
 	p := &parser{file: file, toks: toks}
 	if scanErr != nil {
 		p.errs = append(p.errs, scanErr)

@@ -426,8 +426,16 @@ func (s *Scanner) scanOperator() Token {
 // ScanAll tokenizes the entire input and returns the tokens up to and
 // including EOF, plus any lexical errors encountered.
 func ScanAll(file, src string) ([]Token, error) {
+	return ScanAllInto(file, src, nil)
+}
+
+// ScanAllInto is ScanAll appending into buf[:0], reusing its capacity —
+// the pooled-scratch path of callers that tokenize in a hot loop. The
+// returned slice aliases buf when it fits; tokens from a previous scan
+// into the same buffer are overwritten.
+func ScanAllInto(file, src string, buf []Token) ([]Token, error) {
 	sc := NewScanner(file, src)
-	var toks []Token
+	toks := buf[:0]
 	for {
 		t := sc.Scan()
 		toks = append(toks, t)

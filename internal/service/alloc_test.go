@@ -1,0 +1,107 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"seldon/internal/core"
+	"seldon/internal/obs"
+)
+
+// Steady-state allocation budgets for the three fast paths. These are
+// regression tripwires, not targets: each holds ~2× headroom over the
+// measured count, so an accidental per-request allocation (a dropped
+// pool, a fresh buffer, a closure capture) fails loudly while compiler
+// and runtime drift does not.
+const (
+	allocBudgetHit       = 120 // cache hit: request decode + key + splice
+	allocBudgetCoalesced = 60  // follower: wait + splice only
+	allocBudgetMiss      = 800 // full analysis with pooled scratch
+)
+
+func newAllocServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Spec == nil {
+		cfg.Spec = testSpec()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.New()
+	}
+	return New(cfg)
+}
+
+func serveOnce(t *testing.T, h http.Handler, body []byte) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/check", bytes.NewReader(body))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("check status = %d", rec.Code)
+	}
+}
+
+func TestCheckAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	body := []byte(taintedSrc)
+
+	t.Run("cache hit", func(t *testing.T) {
+		s := newAllocServer(t, Config{})
+		h := s.Handler()
+		serveOnce(t, h, body) // populate
+		avg := testing.AllocsPerRun(200, func() { serveOnce(t, h, body) })
+		t.Logf("cache-hit check: %.1f allocs/request", avg)
+		if avg > allocBudgetHit {
+			t.Errorf("cache-hit check allocates %.1f/request, budget %d", avg, allocBudgetHit)
+		}
+	})
+
+	t.Run("coalesced follower", func(t *testing.T) {
+		// The follower's own work is everything after joining the flight:
+		// wait, then splice-encode the shared result. Drive followFlight
+		// directly against a resolved flight — the only way to measure the
+		// follower deterministically without a live blocked leader.
+		s := newAllocServer(t, Config{})
+		root := s.cfg.Tracer.StartRootFrom("http.check", "")
+		res, err := s.check(root, s.currentStore(), "request.py", taintedSrc, false, false, &core.Scratch{})
+		root.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		close(done)
+		f := &flight{done: done, res: res}
+		ctx := context.Background()
+		avg := testing.AllocsPerRun(200, func() {
+			rec := httptest.NewRecorder()
+			root := s.cfg.Tracer.StartRootFrom("http.check", "")
+			span := s.cfg.Metrics.Start(TimerCheck)
+			s.followFlight(rec, ctx, root, span, "request.py", f)
+			root.End()
+			if rec.Code != http.StatusOK {
+				t.Fatalf("follower status = %d", rec.Code)
+			}
+		})
+		t.Logf("coalesced follower: %.1f allocs/request", avg)
+		if avg > allocBudgetCoalesced {
+			t.Errorf("coalesced follower allocates %.1f/request, budget %d", avg, allocBudgetCoalesced)
+		}
+	})
+
+	t.Run("pooled miss", func(t *testing.T) {
+		// Cache off: every request runs the full pipeline through the
+		// scratch pool. The budget bounds the whole analysis, so losing
+		// the pool (or a new per-file allocation in parse/dataflow) trips.
+		s := newAllocServer(t, Config{CheckCacheEntries: -1})
+		h := s.Handler()
+		serveOnce(t, h, body) // warm the pools
+		avg := testing.AllocsPerRun(100, func() { serveOnce(t, h, body) })
+		t.Logf("pooled miss: %.1f allocs/request", avg)
+		if avg > allocBudgetMiss {
+			t.Errorf("cache-miss check allocates %.1f/request, budget %d", avg, allocBudgetMiss)
+		}
+	})
+}

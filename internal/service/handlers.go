@@ -11,7 +11,10 @@ import (
 	"strings"
 	"time"
 
+	"seldon/internal/checkcache"
 	"seldon/internal/core"
+	"seldon/internal/fpcache"
+	"seldon/internal/obs"
 	"seldon/internal/obs/trace"
 	"seldon/internal/propgraph"
 	"seldon/internal/specio"
@@ -30,7 +33,11 @@ type Finding struct {
 	Trace string `json:"trace,omitempty"`
 }
 
-// CheckResponse is the /v1/check response body.
+// CheckResponse is the /v1/check response body. The wire bytes are not
+// produced by marshaling this struct: the cache-independent prefix
+// (checkCore) is encoded once per analysis, and elapsed_ms plus
+// trace_id are spliced on per request — the field order here documents
+// (and tests pin) that the splice matches a direct marshal.
 type CheckResponse struct {
 	File       string         `json:"file"`
 	Findings   []Finding      `json:"findings"`
@@ -45,6 +52,31 @@ type CheckResponse struct {
 	TraceID string `json:"trace_id,omitempty"`
 }
 
+// checkCore is the cacheable prefix of a CheckResponse: everything
+// determined by (store generation, filename, options, body) and nothing
+// that varies per request. Its encoding ends in '}' and respondCheck
+// splices the per-request suffix before that byte, so every 200 —
+// cold, cached, or coalesced — is byte-identical modulo elapsed_ms and
+// trace_id.
+type checkCore struct {
+	File       string         `json:"file"`
+	Findings   []Finding      `json:"findings"`
+	Total      int            `json:"total"`
+	ByCategory map[string]int `json:"by_category,omitempty"`
+	ParseError string         `json:"parse_error,omitempty"`
+}
+
+// checkResult is one analysis outcome: the encoded checkCore plus the
+// finding count for logs.
+type checkResult struct {
+	core  []byte
+	total int
+}
+
+// optsKey encodes the (trace, dedupe) option pair for cache keys,
+// indexed by trace<<0 | dedupe<<1.
+var optsKey = [4]string{"", "t", "d", "td"}
+
 // handleCheck implements POST /v1/check: the body is one Python source
 // file; the response lists unsanitized source→sink flows under the
 // loaded specification. Query parameters: filename (report label,
@@ -56,6 +88,12 @@ type CheckResponse struct {
 // trace ID is returned in X-Trace-Id and the response body, a W3C
 // traceparent header is honored inbound and emitted outbound, and the
 // finished tree is retrievable from /debug/traces?trace_id=<id>.
+//
+// Repeated work short-circuits before admission. A cache hit (same
+// body, filename, options, and store generation) skips the queue and
+// the analysis entirely; a concurrent identical request joins the
+// in-flight leader's analysis as a follower (span attr coalesced=true)
+// without taking a worker slot. Both still carry their own deadline.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -73,7 +111,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	span := s.cfg.Metrics.Start(TimerCheck)
 
 	adm := root.StartChild("admission")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	bufp := s.getBuf()
+	defer s.putBuf(bufp)
+	body, err := readAllInto(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), (*bufp)[:0])
+	*bufp = body[:0] // hand the grown buffer back to the pool on return
 	adm.SetAttr("body_bytes", len(body))
 	adm.End()
 	if err != nil {
@@ -88,14 +129,56 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	query := r.URL.Query()
+	name := query.Get("filename")
+	if name == "" {
+		name = "request.py"
+	}
+	withTrace := query.Get("trace") == "1"
+	dedupe := query.Get("dedupe") == "1"
+	root.SetAttr("file", name)
+
+	// One store snapshot per request, taken before the cache key is
+	// derived: the key's generation and the analysis input can never
+	// disagree, even against a concurrent reload.
+	st := s.currentStore()
+	root.SetAttr("store", st.fingerprint)
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+
+	var key checkcache.Key
+	var fl *flight
+	if s.cache != nil {
+		opts := optsKey[b2i(withTrace)|b2i(dedupe)<<1]
+		key = checkcache.KeyOfBytes([]string{fpcache.AnalyzerVersion, st.epoch, name, opts}, body)
+		if val, ok := s.cache.Get(key); ok {
+			s.cfg.Metrics.Add(obs.CounterCheckCacheHits, 1)
+			root.SetAttr("cache", "hit")
+			s.respondCheck(w, root, span, val)
+			s.cfg.Log.Log("check.done", "file", name, "cache", "hit", "trace", root.TraceID())
+			return
+		}
+		s.cfg.Metrics.Add(obs.CounterCheckCacheMisses, 1)
+		s.flightMu.Lock()
+		if g, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			s.followFlight(w, ctx, root, span, name, g)
+			return
+		}
+		fl = &flight{done: make(chan struct{})}
+		s.flights[key] = fl
+		s.flightMu.Unlock()
+	} else {
+		fl = &flight{done: make(chan struct{})}
+	}
 
 	queue := root.StartChild("queue")
 	release, err := s.admit(ctx)
 	queue.End()
 	if err != nil {
 		span.End()
+		s.resolveFlight(key, fl, nil, err)
 		if errors.Is(err, errBusy) {
 			s.cfg.Metrics.Add(CounterRejected, 1)
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
@@ -106,43 +189,169 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	name := r.URL.Query().Get("filename")
-	if name == "" {
-		name = "request.py"
-	}
-	root.SetAttr("file", name)
-
 	// Run the pipeline on the worker slot; the handler goroutine only
 	// waits for it or the deadline. On timeout the analysis goroutine
-	// finishes on its own and releases the slot then — the pool bound
-	// stays honest even when clients have long gone.
-	type outcome struct {
-		resp *CheckResponse
-	}
-	done := make(chan outcome, 1)
+	// finishes on its own, releases the slot, and still resolves the
+	// flight — the pool bound stays honest even when clients have long
+	// gone, and followers are never stranded by their leader's client.
+	// The body is copied out first: the pooled read buffer is returned
+	// when this handler exits, which may precede the analysis.
+	source := string(body)
 	go func() {
 		defer release()
 		if s.checkGate != nil {
 			<-s.checkGate
 		}
-		done <- outcome{resp: s.check(root, name, string(body), r.URL.Query().Get("trace") == "1",
-			r.URL.Query().Get("dedupe") == "1")}
+		sc := s.getScratch()
+		res, err := s.check(root, st, name, source, withTrace, dedupe, sc)
+		s.putScratch(sc)
+		if err == nil {
+			s.cache.Put(key, res.core) // nil-safe when the cache is off
+			s.updateCacheMetrics()
+		}
+		s.resolveFlight(key, fl, res, err)
 	}()
 
 	select {
-	case out := <-done:
-		enc := root.StartChild("encode")
-		out.resp.ElapsedMS = float64(span.End()) / float64(time.Millisecond)
-		out.resp.TraceID = root.TraceID()
-		s.writeJSON(w, http.StatusOK, out.resp)
-		enc.End()
-		s.cfg.Log.Log("check.done", "file", name, "findings", out.resp.Total,
+	case <-fl.done:
+		if fl.err != nil {
+			span.End()
+			s.fail(w, "check", http.StatusInternalServerError, "encoding response: "+fl.err.Error())
+			return
+		}
+		s.respondCheck(w, root, span, fl.res.core)
+		s.cfg.Log.Log("check.done", "file", name, "findings", fl.res.total,
 			"trace", root.TraceID())
 	case <-ctx.Done():
 		s.cfg.Metrics.Add(CounterTimeouts, 1)
 		span.End()
 		s.timeoutResponse(w, ctx.Err())
 	}
+}
+
+// followFlight rides an in-flight identical analysis: the follower
+// holds no worker slot, keeps its own deadline, and fails exactly like
+// its leader when the leader could not be admitted.
+func (s *Server) followFlight(w http.ResponseWriter, ctx context.Context,
+	root *trace.Span, span obs.Span, name string, f *flight) {
+	s.coalesced.Add(1)
+	s.cfg.Metrics.Add(obs.CounterCheckCoalesced, 1)
+	root.SetAttr("coalesced", true)
+	select {
+	case <-f.done:
+		if f.err != nil {
+			span.End()
+			switch {
+			case errors.Is(f.err, errBusy):
+				s.cfg.Metrics.Add(CounterRejected, 1)
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+				s.fail(w, "check", http.StatusTooManyRequests, "server at capacity, retry later")
+			default:
+				s.timeoutResponse(w, f.err)
+			}
+			return
+		}
+		s.respondCheck(w, root, span, f.res.core)
+		s.cfg.Log.Log("check.done", "file", name, "findings", f.res.total,
+			"cache", "coalesced", "trace", root.TraceID())
+	case <-ctx.Done():
+		s.cfg.Metrics.Add(CounterTimeouts, 1)
+		span.End()
+		s.timeoutResponse(w, ctx.Err())
+	}
+}
+
+// resolveFlight publishes the outcome and retires the flight. The cache
+// Put (in the caller) happens first, so a request arriving between the
+// delete and a later identical one either joined this flight or finds
+// the cached value — never a gap where both miss.
+func (s *Server) resolveFlight(key checkcache.Key, fl *flight, res *checkResult, err error) {
+	fl.res, fl.err = res, err
+	if s.cache != nil {
+		s.flightMu.Lock()
+		if s.flights[key] == fl {
+			delete(s.flights, key)
+		}
+		s.flightMu.Unlock()
+	}
+	close(fl.done)
+}
+
+// respondCheck writes one 200: the cached core encoding with
+// `,"elapsed_ms":…,"trace_id":"…"` spliced before the closing brace —
+// byte-for-byte what marshaling the full CheckResponse would produce.
+func (s *Server) respondCheck(w http.ResponseWriter, root *trace.Span, span obs.Span, core []byte) {
+	enc := root.StartChild("encode")
+	elapsed := float64(span.End()) / float64(time.Millisecond)
+	bufp := s.getBuf()
+	b := append((*bufp)[:0], core[:len(core)-1]...)
+	b = append(b, `,"elapsed_ms":`...)
+	b = appendJSONFloat(b, elapsed)
+	b = append(b, `,"trace_id":"`...)
+	b = append(b, root.TraceID()...)
+	b = append(b, '"', '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	*bufp = b
+	s.putBuf(bufp)
+	enc.End()
+}
+
+// updateCacheMetrics refreshes the residency gauges and rolls forward
+// the eviction counter from the cache's cumulative snapshot.
+func (s *Server) updateCacheMetrics() {
+	cs := s.cache.Stats()
+	s.cfg.Metrics.Set(obs.GaugeCheckCacheEntries, float64(cs.Entries))
+	s.cfg.Metrics.Set(obs.GaugeCheckCacheBytes, float64(cs.Bytes))
+	if d := cs.Evictions - s.evictionsPublished.Swap(cs.Evictions); d > 0 {
+		s.cfg.Metrics.Add(obs.CounterCheckCacheEvictions, d)
+	}
+}
+
+// readAllInto is io.ReadAll into a caller-provided buffer, reusing its
+// capacity and returning the (possibly grown) slice.
+func readAllInto(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64
+// (ES6 number-to-string: %f in the mid range, %e with a trimmed
+// exponent outside it), keeping spliced responses byte-identical to a
+// direct marshal.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 // retryAfterSeconds derives the Retry-After hint for 429 responses
@@ -173,19 +382,19 @@ func (s *Server) retryAfterSeconds() int {
 // corpus front-end (Workers: 1 — request-level parallelism comes from
 // the handler pool), union, then the taint analyzer. It is the same
 // code path cmd/taintcheck runs, so findings match the CLI byte for
-// byte on the same input. The store snapshot is taken once here, so a
-// concurrent reload never changes the spec mid-check.
+// byte on the same input. The caller passes the store snapshot it
+// admitted with (so the cache key and the analysis agree) and a pooled
+// scratch the sequential front-end threads through parse and dataflow.
 //
 // The front-end reports parse and dataflow time only after the fact,
 // so those stages become retroactive child spans (AddChildAt) tiling
 // the front-end wall; taint runs under a live child span.
-func (s *Server) check(root *trace.Span, name, source string, withTrace, dedupe bool) *CheckResponse {
-	st := s.currentStore()
-	root.SetAttr("store", st.fingerprint)
+func (s *Server) check(root *trace.Span, st storeState, name, source string,
+	withTrace, dedupe bool, sc *core.Scratch) (*checkResult, error) {
 	span := s.cfg.Metrics.Start(TimerAnalyze)
 	feStart := time.Now()
 	fe := core.AnalyzeFiles(map[string]string{name: source},
-		core.Config{Workers: 1, Metrics: s.cfg.Metrics})
+		core.Config{Workers: 1, Metrics: s.cfg.Metrics, Scratch: sc})
 	root.AddChildAt("parse", feStart, fe.ParseTotal)
 	root.AddChildAt("dataflow", feStart.Add(fe.ParseTotal), fe.AnalyzeTotal)
 	ts := root.StartChild("taint")
@@ -198,9 +407,9 @@ func (s *Server) check(root *trace.Span, name, source string, withTrace, dedupe 
 	ts.End()
 	span.End()
 
-	resp := &CheckResponse{File: name, Findings: []Finding{}}
+	cc := &checkCore{File: name, Findings: []Finding{}}
 	if len(fe.ParseErrs) > 0 {
-		resp.ParseError = fe.ParseErrs[0].Error()
+		cc.ParseError = fe.ParseErrs[0].Error()
 	}
 	for i := range reports {
 		rep := &reports[i]
@@ -215,18 +424,22 @@ func (s *Server) check(root *trace.Span, name, source string, withTrace, dedupe 
 		if withTrace {
 			f.Trace = rep.Trace(union)
 		}
-		resp.Findings = append(resp.Findings, f)
+		cc.Findings = append(cc.Findings, f)
 	}
 	sum := taint.Summarize(reports)
-	resp.Total = sum.Total
+	cc.Total = sum.Total
 	if sum.Total > 0 {
-		resp.ByCategory = make(map[string]int, len(sum.ByCategory))
+		cc.ByCategory = make(map[string]int, len(sum.ByCategory))
 		for c, n := range sum.ByCategory {
-			resp.ByCategory[string(c)] = n
+			cc.ByCategory[string(c)] = n
 		}
 	}
 	s.cfg.Metrics.Add("taint.reports", int64(sum.Total))
-	return resp
+	data, err := json.Marshal(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &checkResult{core: data, total: sum.Total}, nil
 }
 
 // SpecEntry is one role assignment in a /v1/specs response.
@@ -319,6 +532,29 @@ type HealthResponse struct {
 	Reloads        int64   `json:"reloads"`
 	Inflight       int64   `json:"inflight"`
 	UptimeS        float64 `json:"uptime_s"`
+	// CheckCache summarizes the check-result cache; absent when the
+	// cache is disabled. Pool reports scratch-pool traffic.
+	CheckCache *CheckCacheHealth `json:"check_cache,omitempty"`
+	Pool       PoolHealth        `json:"pool"`
+}
+
+// CheckCacheHealth is the /v1/healthz view of the check-result cache
+// and the single-flight coalescer.
+type CheckCacheHealth struct {
+	Entries   int64   `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Coalesced int64   `json:"coalesced"`
+}
+
+// PoolHealth is the /v1/healthz view of the scratch pool: Gets counts
+// acquisitions, News the subset that allocated fresh.
+type PoolHealth struct {
+	Gets int64 `json:"gets"`
+	News int64 `json:"news"`
 }
 
 // handleHealthz implements GET /v1/healthz: liveness — answers 200 as
@@ -326,7 +562,7 @@ type HealthResponse struct {
 // instance receive new traffic?) is /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.currentStore()
-	s.writeJSON(w, http.StatusOK, &HealthResponse{
+	resp := &HealthResponse{
 		Status:           "ok",
 		Specs:            st.spec.Len(),
 		StoreFingerprint: st.fingerprint,
@@ -336,7 +572,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Reloads:          s.reloads.Load(),
 		Inflight:         s.inflight.Load(),
 		UptimeS:          time.Since(s.start).Seconds(),
-	})
+		Pool:             PoolHealth{Gets: s.poolGets.Load(), News: s.poolNews.Load()},
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.CheckCache = &CheckCacheHealth{
+			Entries:   cs.Entries,
+			Bytes:     cs.Bytes,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRate:   cs.HitRate(),
+			Coalesced: s.coalesced.Load(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // ReadyResponse is the /v1/readyz response body.
@@ -416,7 +666,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if prev := s.currentStore(); prev.fingerprint == fp {
 		status = "unchanged" // still republished: loadedAt advances
 	}
-	s.swapStore(storeState{spec: sp, meta: meta, fingerprint: fp, loadedAt: time.Now()})
+	// The epoch is the fingerprint (always non-empty here: an
+	// unfingerprintable store was rejected above), so a reload to a
+	// content-identical store keeps its cached check results addressable
+	// and any other store starts a fresh generation.
+	s.swapStore(storeState{spec: sp, meta: meta, fingerprint: fp, epoch: fp, loadedAt: time.Now()})
 	s.cfg.Log.Log("store.reload", "path", s.cfg.StorePath,
 		"fingerprint", fp, "specs", sp.Len(), "status", status)
 	s.writeJSON(w, http.StatusOK, &ReloadResponse{

@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector instruments this build;
+// the alloc-budget tests skip under it (instrumentation changes counts).
+const raceEnabled = true

@@ -30,6 +30,27 @@
 // against that snapshot, so /v1/reload swaps specs without dropping or
 // mixing in-flight checks; a reload that fails to load or validate
 // leaves the previous store serving.
+//
+// Repeated work is nearly free. Three layers stack on the check path:
+//
+//   - Check-result cache: a bounded, sharded LRU (internal/checkcache)
+//     keyed on (analyzer version, store generation, filename, options,
+//     body) holds the encoded findings; an identical request against the
+//     same store generation is a map lookup plus a per-request splice of
+//     elapsed_ms and trace_id. Reload starts a new generation, so stale
+//     entries stop being addressable rather than needing a flush.
+//   - Single-flight coalescing: concurrent identical-key requests
+//     collapse onto one in-flight analysis. The leader takes a worker
+//     slot; followers wait on the flight without consuming one, keep
+//     their own deadlines, and are marked coalesced in their trace.
+//   - Scratch pooling: per-request parse and dataflow state (token
+//     buffers, analyzer tables) is recycled through a sync.Pool behind
+//     core.Scratch's Reset seam, cutting steady-state allocations on
+//     cache misses.
+//
+// Cached, coalesced, and cold responses are byte-identical modulo
+// trace_id: every 200 is the cached "core" encoding plus the same
+// splice, so callers cannot observe which path served them.
 package service
 
 import (
@@ -43,6 +64,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seldon/internal/checkcache"
+	"seldon/internal/core"
 	"seldon/internal/obs"
 	"seldon/internal/obs/trace"
 	"seldon/internal/spec"
@@ -114,6 +137,14 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown; 0 selects 10s.
 	DrainTimeout time.Duration
 
+	// CheckCacheEntries and CheckCacheBytes bound the check-result cache
+	// (entries resident / total encoded-response bytes). 0 selects the
+	// checkcache defaults (8192 entries, 64 MiB); any negative value
+	// disables the cache — and with it single-flight coalescing, which
+	// shares its keying — so every request runs a full analysis.
+	CheckCacheEntries int
+	CheckCacheBytes   int64
+
 	// Metrics and Log receive request telemetry; both may be nil.
 	Metrics *obs.Registry
 	Log     *obs.Logger
@@ -157,7 +188,12 @@ type storeState struct {
 	spec        *spec.Spec
 	meta        specio.Meta
 	fingerprint string
-	loadedAt    time.Time
+	// epoch names this generation in check-cache keys: the fingerprint
+	// when one exists, a synthetic "gen-<n>" otherwise. Two generations
+	// never share an epoch unless their stores are content-identical, in
+	// which case sharing cached results is exactly right.
+	epoch    string
+	loadedAt time.Time
 }
 
 // Server answers taint-check traffic against a hot-swappable
@@ -187,6 +223,37 @@ type Server struct {
 	// checkGate, when non-nil, blocks each check until the channel is
 	// closed — test hook for saturation and drain tests.
 	checkGate chan struct{}
+
+	// cache holds encoded check results; nil when disabled. flights is
+	// the single-flight table: one entry per cache key currently being
+	// analyzed, so concurrent identical requests share one analysis.
+	cache    *checkcache.Cache
+	flightMu sync.Mutex
+	flights  map[checkcache.Key]*flight
+
+	// scratchPool recycles per-request parse+dataflow scratch between
+	// cache misses; bufPool recycles the request-scoped byte buffers
+	// (body read, response encode). poolGets/poolNews mirror the obs
+	// counters for /v1/healthz; coalesced likewise.
+	scratchPool sync.Pool
+	bufPool     sync.Pool
+	poolGets    atomic.Int64
+	poolNews    atomic.Int64
+	coalesced   atomic.Int64
+	// evictionsPublished tracks how much of the cache's cumulative
+	// eviction count has been rolled into the obs counter.
+	evictionsPublished atomic.Int64
+}
+
+// flight is one in-progress analysis that concurrent identical requests
+// attach to. The leader (or its analysis goroutine) fills res or err and
+// closes done exactly once; followers select on done against their own
+// deadlines. err propagates the leader's admission failure (429 or
+// queue-wait timeout) so followers fail the same way instead of hanging.
+type flight struct {
+	done chan struct{}
+	res  *checkResult
+	err  error
 }
 
 // New builds a Server from cfg. cfg.Spec must be non-nil.
@@ -196,17 +263,51 @@ func New(cfg Config) *Server {
 	if err != nil {
 		fp = "" // unfingerprintable store still serves
 	}
+	epoch := fp
+	if epoch == "" {
+		epoch = "gen-0"
+	}
 	s := &Server{
 		cfg:   cfg,
 		start: time.Now(),
 		sem:   make(chan struct{}, cfg.Workers),
 		store: storeState{
-			spec: cfg.Spec, meta: cfg.Meta, fingerprint: fp, loadedAt: time.Now(),
+			spec: cfg.Spec, meta: cfg.Meta, fingerprint: fp, epoch: epoch, loadedAt: time.Now(),
 		},
+	}
+	if cfg.CheckCacheEntries >= 0 && cfg.CheckCacheBytes >= 0 {
+		s.cache = checkcache.New(cfg.CheckCacheEntries, cfg.CheckCacheBytes)
+		s.flights = make(map[checkcache.Key]*flight)
+	}
+	s.scratchPool.New = func() any {
+		s.poolNews.Add(1)
+		s.cfg.Metrics.Add(obs.CounterPoolNews, 1)
+		return &core.Scratch{}
+	}
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, 4096)
+		return &b
 	}
 	cfg.Metrics.Set(GaugeStoreSpecs, float64(cfg.Spec.Len()))
 	return s
 }
+
+// getScratch takes a pooled analysis scratch; putScratch scrubs and
+// returns it. The scratch lives inside the analysis goroutine only, so
+// a handler that times out and returns never races its buffers.
+func (s *Server) getScratch() *core.Scratch {
+	s.poolGets.Add(1)
+	s.cfg.Metrics.Add(obs.CounterPoolGets, 1)
+	return s.scratchPool.Get().(*core.Scratch)
+}
+
+func (s *Server) putScratch(sc *core.Scratch) {
+	sc.Reset()
+	s.scratchPool.Put(sc)
+}
+
+func (s *Server) getBuf() *[]byte  { return s.bufPool.Get().(*[]byte) }
+func (s *Server) putBuf(b *[]byte) { *b = (*b)[:0]; s.bufPool.Put(b) }
 
 // currentStore snapshots the active specification generation. Callers
 // hold the snapshot for their whole request so one check never sees two

@@ -193,7 +193,9 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 
 func TestBackpressure429(t *testing.T) {
 	reg := obs.New()
-	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg})
+	// Cache off: this test pins raw queue backpressure, and identical
+	// concurrent bodies would otherwise coalesce instead of queueing.
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg, CheckCacheEntries: -1})
 	gate := make(chan struct{})
 	s.checkGate = gate
 

@@ -178,7 +178,9 @@ func TestReadyzSplitFromHealthz(t *testing.T) {
 // admitted/workers factor would double-count.
 func TestRetryAfterComputed(t *testing.T) {
 	saturateAnd429 := func(t *testing.T, reg *obs.Registry) string {
-		s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg})
+		// Cache off: saturation needs the identical bodies to queue, not
+		// coalesce onto one flight.
+		s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg, CheckCacheEntries: -1})
 		gate := make(chan struct{})
 		s.checkGate = gate
 		defer close(gate)
