@@ -2,9 +2,9 @@ GO ?= go
 
 # bench-json snapshot name; parameterized so each PR's snapshot
 # (BENCH_<pr>.json) doesn't overwrite the last.
-BENCH ?= BENCH_7.json
+BENCH ?= BENCH_8.json
 
-.PHONY: build test vet race verify bench bench-json serve loadsmoke load
+.PHONY: build test vet race verify bench bench-json serve loadsmoke load shardsmoke
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,16 @@ vet:
 # Race-check the packages with concurrency-sensitive surfaces: the
 # metrics registry, the sharded solver kernel, the parallel corpus
 # front-end, the analysis cache, the HTTP service (worker pool,
-# backpressure, drain, hot reload), the symbol interner, and the
-# sharded constraint build.
+# backpressure, drain, hot reload), the symbol interner, the sharded
+# constraint build, and the shard worker/coordinator (subprocess
+# fan-out, concurrent artifact decode).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/fpcache/... ./internal/service/... ./internal/propgraph/... ./internal/constraints/...
+	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/fpcache/... ./internal/service/... ./internal/propgraph/... ./internal/constraints/... ./internal/shard/...
 
-# verify = tier-1 (build + full tests) plus vet, the race checks, and
-# the end-to-end load smoke (real seldond + seldonload over loopback).
-verify: vet race build test loadsmoke
+# verify = tier-1 (build + full tests) plus vet, the race checks, the
+# end-to-end load smoke (real seldond + seldonload over loopback), and
+# the distributed-learning smoke (real worker subprocesses + coordinator).
+verify: vet race build test loadsmoke shardsmoke
 	@echo "verify OK"
 
 # loadsmoke boots the service in-process on a free port, drives two
@@ -40,6 +42,31 @@ loadsmoke:
 	$(GO) run ./cmd/seldonload -specs .smokespecs.json -duration 2s -warmup 200ms -c 4 -smoke && \
 	$(GO) run ./cmd/seldonload -specs .smokespecs.json -duration 2s -warmup 200ms -c 4 -dup 0.8 -smoke; \
 	st=$$?; rm -f .smokespecs.json; exit $$st
+
+# shardsmoke is the distributed-learning determinism oracle, end to end
+# over real processes: generate a corpus on disk, analyze it as three
+# seldon-shard worker processes writing wire-format artifacts, coordinate
+# them (seldon -shards-in), and require the resulting spec store to be
+# byte-identical (cmp) to a single-process run on the same corpus. A
+# second pass exercises the subprocess executor (-exec-shards) the same
+# way. Any drift in slicing, the codec, symbol translation, or the merge
+# fails loudly here before it can skew a real corpus.
+shardsmoke:
+	rm -rf .shardsmoke && mkdir -p .shardsmoke && \
+	$(GO) build -o .shardsmoke/seldon ./cmd/seldon && \
+	$(GO) build -o .shardsmoke/seldon-shard ./cmd/seldon-shard && \
+	$(GO) run ./cmd/corpusgen -out .shardsmoke/corpus -files 60 >/dev/null && \
+	./.shardsmoke/seldon -dir .shardsmoke/corpus -seedfile .shardsmoke/corpus/seed.spec -o .shardsmoke/single.json >/dev/null && \
+	./.shardsmoke/seldon-shard -dir .shardsmoke/corpus -slices 3 -slice 0 -o .shardsmoke/p0.shard 2>/dev/null && \
+	./.shardsmoke/seldon-shard -dir .shardsmoke/corpus -slices 3 -slice 1 -o .shardsmoke/p1.shard 2>/dev/null && \
+	./.shardsmoke/seldon-shard -dir .shardsmoke/corpus -slices 3 -slice 2 -o .shardsmoke/p2.shard 2>/dev/null && \
+	./.shardsmoke/seldon -shards-in '.shardsmoke/p*.shard' -seedfile .shardsmoke/corpus/seed.spec -o .shardsmoke/dist.json >/dev/null && \
+	cmp .shardsmoke/single.json .shardsmoke/dist.json && \
+	./.shardsmoke/seldon -generate 60 -o .shardsmoke/gen_single.json >/dev/null && \
+	./.shardsmoke/seldon -generate 60 -exec-shards 3 -shard-bin ./.shardsmoke/seldon-shard -o .shardsmoke/exec.json >/dev/null 2>&1 && \
+	cmp .shardsmoke/gen_single.json .shardsmoke/exec.json && \
+	echo "shardsmoke OK: coordinator stores byte-identical to single-process"; \
+	st=$$?; rm -rf .shardsmoke; exit $$st
 
 # load runs a longer self-served closed-loop measurement and prints the
 # latency percentiles (see also: seldonload -rps for open-loop SLO runs
@@ -60,7 +87,14 @@ bench:
 # cache-assisted), "load_dup" (duplicate-heavy -dup 0.8 mix, the shape
 # the check cache and coalescing exist for), and "load_dup_cold" (the
 # same mix with the cache disabled) — so the snapshot itself carries the
-# cache-on/cache-off comparison.
+# cache-on/cache-off comparison. Finally a "distributed" section compares
+# the same 2400-file corpus learned single-process vs. fanned out to 4
+# local seldon-shard subprocesses (wall times, speedup, merge/exec cost,
+# artifact bytes). The speedup is hardware-relative — on a single-core
+# box the fan-out can only lose; the numbers that must stay small
+# regardless are merge_s and exec overhead beyond the slowest worker.
+# The section merges must stay after the typed benchjson rewrite, which
+# drops foreign sections.
 bench-json:
 	rm -rf .benchcache && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -o .benchspecs.json >/dev/null && \
@@ -73,7 +107,13 @@ bench-json:
 		-section load_dup -into $(BENCH) >/dev/null && \
 	$(GO) run ./cmd/seldonload -specs .benchspecs.json -duration 3s -warmup 500ms -c 8 -dup 0.8 \
 		-check-cache-entries 0 -section load_dup_cold -into $(BENCH) >/dev/null && \
-	rm -f .benchspecs.json
+	$(GO) build -o .shardbin/seldon-shard ./cmd/seldon-shard && \
+	$(GO) run ./cmd/seldon -generate 2400 -metrics-json .dist_single.json >/dev/null && \
+	$(GO) run ./cmd/seldon -generate 2400 -exec-shards 4 -shard-bin ./.shardbin/seldon-shard \
+		-metrics-json .dist_shards.json >/dev/null 2>&1 && \
+	$(GO) run ./cmd/benchjson -dist-single .dist_single.json -dist-shards .dist_shards.json \
+		-shards 4 -into $(BENCH) && \
+	rm -rf .benchspecs.json .shardbin .dist_single.json .dist_shards.json
 
 # serve learns a spec store (if absent) and boots the taint service on
 # :8647 — /v1/check, /v1/specs, /v1/healthz, /metrics, /debug/pprof/.

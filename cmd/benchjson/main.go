@@ -13,6 +13,14 @@
 //
 // Non-benchmark lines (pkg headers, PASS/ok) pass through to stderr so
 // the run stays inspectable; the snapshot file is rewritten in place.
+//
+// A second mode compares a single-process run against a sharded
+// coordinator run (both captured with -metrics-json) and merges a
+// "distributed" section — wall times, speedup, merge/exec costs, and
+// artifact volume — into the snapshot, preserving any other sections
+// already present:
+//
+//	benchjson -dist-single s.json -dist-shards d.json -shards 4 -into BENCH.json
 package main
 
 import (
@@ -29,9 +37,18 @@ import (
 
 func main() {
 	into := flag.String("into", "", "metrics snapshot file to merge benchmark gauges into")
+	distSingle := flag.String("dist-single", "", "metrics snapshot of a single-process seldon run (selects distributed-section mode)")
+	distShards := flag.String("dist-shards", "", "metrics snapshot of a seldon -exec-shards coordinator run")
+	shards := flag.Int("shards", 0, "shard count of the -dist-shards run")
 	flag.Parse()
 	if *into == "" {
 		fatal(fmt.Errorf("need -into <snapshot.json>"))
+	}
+	if *distSingle != "" || *distShards != "" {
+		if err := mergeDistributed(*into, *distSingle, *distShards, *shards); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	data, err := os.ReadFile(*into)
@@ -106,6 +123,72 @@ func parseBenchLine(line string) (string, map[string]float64, bool) {
 		return "", nil, false
 	}
 	return name, values, true
+}
+
+// mergeDistributed builds the "distributed" section from two metrics
+// snapshots — the same corpus learned single-process and via N local
+// shard workers — and merges it into the snapshot file. The file is
+// handled as a generic JSON document (not obs.Snapshot) so sections
+// other tools merged, like seldonload's "load", survive the rewrite.
+func mergeDistributed(into, singlePath, shardsPath string, shards int) error {
+	if singlePath == "" || shardsPath == "" {
+		return fmt.Errorf("distributed mode needs both -dist-single and -dist-shards")
+	}
+	single, err := readSnapshot(singlePath)
+	if err != nil {
+		return err
+	}
+	dist, err := readSnapshot(shardsPath)
+	if err != nil {
+		return err
+	}
+	singleWall := single.Gauges[obs.GaugePipelineWall]
+	shardWall := dist.Gauges[obs.GaugePipelineWall]
+	if singleWall <= 0 || shardWall <= 0 {
+		return fmt.Errorf("snapshots lack the %s gauge (need seldon runs with -metrics-json)", obs.GaugePipelineWall)
+	}
+	sec := map[string]any{
+		"shards":         shards,
+		"single_wall_s":  singleWall,
+		"shard_wall_s":   shardWall,
+		"speedup":        singleWall / shardWall,
+		"exec_s":         dist.Timers[obs.StageShardExec].Sum,
+		"merge_s":        dist.Timers[obs.TimerShardMerge].Sum,
+		"files":          dist.Gauges[obs.GaugeShardFiles],
+		"artifact_bytes": dist.Gauges[obs.GaugeShardBytes],
+	}
+
+	data, err := os.ReadFile(into)
+	if err != nil {
+		return err
+	}
+	doc := map[string]any{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", into, err)
+	}
+	doc["distributed"] = sec
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(into, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged distributed section (%d shards, %.2fx) into %s\n",
+		shards, singleWall/shardWall, into)
+	return nil
+}
+
+func readSnapshot(path string) (*obs.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
 }
 
 func fatal(err error) {

@@ -6,6 +6,11 @@
 //
 //	propdump -dir path/to/repo -out graphs.json    # one union graph
 //	propdump file.py                               # single file to stdout
+//	propdump -binary -dir repo -out graphs.pg      # v2 binary codec
+//
+// -binary emits the compact propgraph binary encoding (the same codec
+// shard artifacts and the fpcache use) instead of JSON; decode it with
+// propgraph.DecodeBinary.
 package main
 
 import (
@@ -25,8 +30,9 @@ import (
 
 func main() {
 	var (
-		dir = flag.String("dir", "", "directory to scan for .py files")
-		out = flag.String("out", "", "output file (default stdout)")
+		dir    = flag.String("dir", "", "directory to scan for .py files")
+		out    = flag.String("out", "", "output file (default stdout)")
+		binary = flag.Bool("binary", false, "write the propgraph v2 binary codec instead of JSON")
 	)
 	flag.Parse()
 
@@ -71,12 +77,22 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := union.Encode(w); err != nil {
+	if err := writeGraph(w, union, *binary); err != nil {
 		fatal(err)
 	}
 	st := union.ComputeStats()
 	fmt.Fprintf(os.Stderr, "propdump: %d files, %d events (%d candidates), %d edges\n",
 		len(paths), st.Events, st.Candidates, st.Edges)
+}
+
+// writeGraph renders the union graph to w: the propgraph v2 binary
+// codec (decode with propgraph.DecodeBinary) or the JSON encoding.
+func writeGraph(w io.Writer, g *propgraph.Graph, binary bool) error {
+	if binary {
+		_, err := w.Write(g.AppendBinary(nil))
+		return err
+	}
+	return g.Encode(w)
 }
 
 func fatal(err error) {

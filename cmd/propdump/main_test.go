@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"seldon/internal/dataflow"
+	"seldon/internal/propgraph"
+	"seldon/internal/pyparse"
+)
+
+func exampleUnion(t *testing.T) *propgraph.Graph {
+	t.Helper()
+	sources := map[string]string{
+		"a.py": "import flask\nq = flask.request.args.get('q')\nprint(q)\n",
+		"b.py": "import os\nos.system('ls')\n",
+	}
+	var graphs []*propgraph.Graph
+	for _, name := range []string{"a.py", "b.py"} {
+		mod, err := pyparse.Parse(name, sources[name])
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		graphs = append(graphs, dataflow.AnalyzeModule(mod, dataflow.Options{}))
+	}
+	return propgraph.Union(graphs...)
+}
+
+// TestBinaryRoundTrip: -binary output is exactly the propgraph v2 codec
+// and decodes back to the same graph with no trailing bytes.
+func TestBinaryRoundTrip(t *testing.T) {
+	union := exampleUnion(t)
+	var buf bytes.Buffer
+	if err := writeGraph(&buf, union, true); err != nil {
+		t.Fatalf("writeGraph(binary): %v", err)
+	}
+	got, tail, err := propgraph.DecodeBinary(buf.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeBinary of -binary output: %v", err)
+	}
+	if len(tail) != 0 {
+		t.Errorf("%d trailing bytes after the graph", len(tail))
+	}
+	if !bytes.Equal(got.AppendBinary(nil), buf.Bytes()) {
+		t.Error("decoded graph re-encodes differently")
+	}
+}
+
+func TestJSONOutputStillDefault(t *testing.T) {
+	union := exampleUnion(t)
+	var buf bytes.Buffer
+	if err := writeGraph(&buf, union, false); err != nil {
+		t.Fatalf("writeGraph(json): %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(buf.String()), "{") {
+		t.Errorf("JSON output does not look like JSON: %.40q", buf.String())
+	}
+}

@@ -1,0 +1,162 @@
+// Command seldon-shard is the distributed-learning worker: it analyzes
+// one deterministic slice of a corpus (parse + dataflow + per-slice
+// graph union, reusing the parallel front-end and the fpcache) and
+// writes a single shard artifact — manifest plus propagation graph in
+// the versioned wire format — to a file or stdout. A coordinator
+// (seldon -shards-in / -exec-shards) merges the artifacts and learns
+// once; the result is byte-identical to a single-process run on the
+// whole corpus.
+//
+// Usage:
+//
+//	seldon-shard -dir path/to/repo -slices 4 -slice 2 -o part2.shard
+//	seldon-shard -generate 240 -slices 4 -slice 2 -o -   # artifact on stdout
+//
+// Slicing is deterministic: -dir corpora are cut into contiguous blocks
+// of sorted file-name order, -generate corpora by project (which is the
+// same order — project names prefix file names). Workers for different
+// slices may run anywhere, in any order, and may share a -cache-dir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"seldon/internal/core"
+	"seldon/internal/corpus"
+	"seldon/internal/fpcache"
+	"seldon/internal/obs"
+	"seldon/internal/shard"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "directory of .py files to analyze")
+		generate = flag.Int("generate", 0, "analyze a slice of a synthetic corpus of N files instead of -dir")
+		slices   = flag.Int("slices", 1, "total number of corpus slices")
+		slice    = flag.Int("slice", 0, "this worker's slice index (0-based)")
+		out      = flag.String("o", "-", "artifact output path (\"-\" = stdout)")
+		workers  = flag.Int("workers", 0, "front-end worker goroutines (0 = GOMAXPROCS)")
+
+		cacheDir   = flag.String("cache-dir", "", "persistent per-file analysis cache directory (sharable between workers)")
+		cacheClear = flag.Bool("cache-clear", false, "empty -cache-dir before the run")
+
+		verbose     = flag.Bool("v", false, "log stages to stderr")
+		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
+	)
+	flag.Parse()
+
+	if *slices < 1 || *slice < 0 || *slice >= *slices {
+		fatal(fmt.Errorf("slice %d of %d out of range", *slice, *slices))
+	}
+
+	var logger *obs.Logger
+	if *verbose {
+		logger = obs.NewLogger(os.Stderr)
+	}
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.New()
+		if err := reg.WriteJSON(*metricsJSON); err != nil {
+			fatal(err) // fail fast on an unwritable path
+		}
+	}
+
+	files, err := loadSlice(*dir, *generate, *slice, *slices)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{Workers: *workers, Metrics: reg, Log: logger}
+	if *cacheDir != "" {
+		cache, err := fpcache.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheClear {
+			if err := cache.Clear(); err != nil {
+				fatal(err)
+			}
+		}
+		cfg.Cache = cache
+	}
+
+	art, fe, err := shard.Build(files, *slice, *slices, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	t0 := time.Now()
+	var written int64
+	if *out == "-" {
+		written, err = shard.Write(os.Stdout, art)
+	} else {
+		written, err = shard.WriteFile(*out, art)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	reg.ObserveDuration(obs.StageShardEncode, time.Since(t0))
+	reg.Set(obs.GaugeShardBytes, float64(written))
+
+	dest := *out
+	if dest == "-" {
+		dest = "stdout"
+	}
+	errNote := ""
+	if n := len(fe.ParseErrorFiles); n > 0 {
+		errNote = fmt.Sprintf(", %d parse errors", n)
+	}
+	fmt.Fprintf(os.Stderr, "seldon-shard: slice %d/%d: %d files%s, %d events, %d bytes to %s\n",
+		*slice, *slices, len(art.Files), errNote, len(art.Graph.Events), written, dest)
+
+	if *metricsJSON != "" {
+		if err := reg.WriteJSON(*metricsJSON); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// loadSlice assembles slice i of n of the designated corpus, reading
+// only the slice's files from disk on the -dir path.
+func loadSlice(dir string, generate, i, n int) (map[string]string, error) {
+	switch {
+	case generate > 0:
+		c := corpus.Generate(corpus.Config{Files: generate})
+		return c.Slice(n, i).FileMap(), nil
+	case dir != "":
+		var names []string
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".py") {
+				names = append(names, path)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(names)
+		files := map[string]string{}
+		for _, name := range core.SliceNames(names, i, n) {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			files[name] = string(data)
+		}
+		return files, nil
+	default:
+		return nil, fmt.Errorf("need -dir or -generate (see -help)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seldon-shard:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,16 @@
 //	seldon -generate 400           # run on a synthetic corpus instead
 //	seldon -generate 240 -o specs.json   # persist a spec store for seldond
 //
+// Distributed learning: seldon is also the coordinator of the
+// seldon-shard worker fleet. -shards-in ingests pre-produced shard
+// artifacts (validated, merged in slice order, learned once);
+// -exec-shards spawns N local seldon-shard subprocesses over pipes —
+// the same flow without a cluster. Either way the saved spec store is
+// byte-identical to a single-process run on the whole corpus.
+//
+//	seldon -shards-in 'parts/*.shard' -seedfile seed.spec -o specs.json
+//	seldon -generate 240 -exec-shards 4 -shard-bin ./seldon-shard -o specs.json
+//
 // Observability:
 //
 //	seldon -generate 400 -v                      # per-stage log + interning summary
@@ -19,7 +29,8 @@
 // Incremental analysis: -cache-dir keeps per-file front-end results in a
 // content-addressed on-disk cache, so re-learning after editing a few
 // files only re-parses those files. Results are bitwise identical with
-// and without the cache; -cache-clear empties the directory first.
+// and without the cache; -cache-clear empties the directory first. With
+// -exec-shards the directory is shared by the worker subprocesses.
 //
 //	seldon -dir repo -cache-dir ~/.cache/seldon
 //	seldon -dir repo -cache-dir ~/.cache/seldon -cache-clear
@@ -31,6 +42,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,6 +52,7 @@ import (
 	"seldon/internal/obs"
 	"seldon/internal/obs/trace"
 	"seldon/internal/propgraph"
+	"seldon/internal/shard"
 	"seldon/internal/spec"
 	"seldon/internal/specio"
 )
@@ -56,6 +69,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "front-end worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
 		out       = flag.String("out", "", "write the merged (seed + learned) specification to this file, for taintcheck -spec")
 		store     = flag.String("o", "", "write the merged specification as a versioned JSON spec store (with provenance metadata), for seldond -specs")
+
+		shardsIn   = flag.String("shards-in", "", "coordinate: glob of shard artifacts (from seldon-shard) to merge and learn from")
+		execShards = flag.Int("exec-shards", 0, "coordinate: spawn N local seldon-shard subprocesses over -dir/-generate and merge their artifacts")
+		shardBin   = flag.String("shard-bin", "seldon-shard", "seldon-shard binary for -exec-shards")
 
 		cacheDir   = flag.String("cache-dir", "", "persistent per-file analysis cache directory (content-addressed; results are bitwise identical with or without it)")
 		cacheClear = flag.Bool("cache-clear", false, "empty -cache-dir before the run")
@@ -103,21 +120,23 @@ func main() {
 		}
 	}
 
-	files, seedSpec, err := loadInput(*dir, *generate, *seedFile)
-	if err != nil {
-		fatal(err)
-	}
+	coordinating := *shardsIn != "" || *execShards > 0
 
 	// Every run is one trace: the pipeline stages become child spans so
 	// -v can print where the time went as a tree, mirroring what seldond
 	// serves per-request from /debug/traces.
 	tracer := trace.New(4)
-	rootSpan := tracer.StartRoot("seldon.learn")
-	rootSpan.SetAttr("files", len(files))
+	rootName := "seldon.learn"
+	if coordinating {
+		rootName = "seldon.coordinate"
+	}
+	rootSpan := tracer.StartRoot(rootName)
 	cfg := core.Config{Threshold: *threshold, Workers: *workers, Metrics: reg, Log: logger, Span: rootSpan}
 	cfg.Constraints.Lambda = *lambda
 	cfg.Constraints.C = *cval
-	if *cacheDir != "" {
+	if *cacheDir != "" && !coordinating {
+		// A coordinator never runs the front-end itself; with
+		// -exec-shards the directory is handed to the workers instead.
 		cache, err := fpcache.Open(*cacheDir)
 		if err != nil {
 			fatal(err)
@@ -129,8 +148,46 @@ func main() {
 		}
 		cfg.Cache = cache
 	}
-	res := core.LearnFromSources(files, seedSpec, cfg)
+
+	// Both paths converge on a Result plus the corpus identity the spec
+	// store's provenance block records.
+	var (
+		res         *core.Result
+		seedSpec    *spec.Spec
+		nFiles      int
+		fingerprint string
+		summary     string
+	)
+	runStart := time.Now()
+	if coordinating {
+		var err error
+		seedSpec, err = coordinatorSeed(*seedFile, *generate)
+		if err != nil {
+			fatal(err)
+		}
+		var mres *shard.MergeResult
+		res, mres, err = coordinate(*shardsIn, *execShards, *shardBin,
+			*dir, *generate, *workers, *cacheDir, seedSpec, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		nFiles = len(mres.Files)
+		fingerprint = mres.CorpusFingerprint
+		summary = fmt.Sprintf("coordinated %d shards: %d files", mres.Slices, nFiles)
+	} else {
+		files, seed, err := loadInput(*dir, *generate, *seedFile)
+		if err != nil {
+			fatal(err)
+		}
+		seedSpec = seed
+		rootSpan.SetAttr("files", len(files))
+		res = core.LearnFromSources(files, seedSpec, cfg)
+		nFiles = len(files)
+		fingerprint = specio.Fingerprint(files)
+		summary = fmt.Sprintf("analyzed %d files", nFiles)
+	}
 	rootSpan.End()
+	reg.Set(obs.GaugePipelineWall, time.Since(runStart).Seconds())
 
 	st := res.Graph.ComputeStats()
 	errNote := ""
@@ -141,8 +198,8 @@ func main() {
 	default:
 		errNote = fmt.Sprintf(" (%d parse errors)", res.ParseErrors)
 	}
-	fmt.Printf("analyzed %d files%s: %d events, %d candidate events, %d constraints, solved in %s (%d epochs)\n",
-		len(files), errNote, st.Events, len(res.System.EventInfos),
+	fmt.Printf("%s%s: %d events, %d candidate events, %d constraints, solved in %s (%d epochs)\n",
+		summary, errNote, st.Events, len(res.System.EventInfos),
 		len(res.System.Problem.Constraints), res.InferenceTime.Round(time.Millisecond),
 		res.SolverEpochs)
 	fmt.Print(stageBreakdown(res))
@@ -190,8 +247,8 @@ func main() {
 	if *store != "" {
 		merged := res.LearnedSpec(seedSpec)
 		meta := specio.Meta{
-			CorpusFingerprint: specio.Fingerprint(files),
-			CorpusFiles:       len(files),
+			CorpusFingerprint: fingerprint,
+			CorpusFiles:       nFiles,
 			Events:            st.Events,
 			SeedEntries:       seedSpec.Len(),
 			LearnedEntries:    merged.Len() - seedSpec.Len(),
@@ -219,6 +276,92 @@ func main() {
 			fmt.Println("  (none)")
 		}
 	}
+}
+
+// coordinate gathers shard artifacts — from a glob of files or by
+// spawning a local seldon-shard fleet — validates and merges them, and
+// learns once over the global graph. The resulting Result is what a
+// single-process LearnFromSources over the concatenated corpus would
+// have produced, with shard gather/merge timings prepended to the stage
+// breakdown.
+func coordinate(pattern string, execN int, bin, dir string, generate, workers int,
+	cacheDir string, seedSpec *spec.Spec, cfg core.Config) (*core.Result, *shard.MergeResult, error) {
+	var (
+		arts       []*shard.Artifact
+		gatherName = obs.StageShardDecode
+	)
+	t0 := time.Now()
+	if pattern != "" {
+		paths, err := filepath.Glob(pattern)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(paths) == 0 {
+			return nil, nil, fmt.Errorf("no shard artifacts match %q", pattern)
+		}
+		sort.Strings(paths)
+		gatherSpan := cfg.Span.StartChild(gatherName)
+		for _, p := range paths {
+			t := time.Now()
+			a, err := shard.ReadFile(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg.Metrics.ObserveDuration(obs.StageShardDecode, time.Since(t))
+			cfg.Log.Log("shard.read", "path", p, "slice", a.Slice, "of", a.Slices,
+				"bytes", a.Size)
+			arts = append(arts, a)
+		}
+		gatherSpan.End()
+	} else {
+		gatherName = obs.StageShardExec
+		gatherSpan := cfg.Span.StartChild(gatherName)
+		var err error
+		arts, err = shard.ExecLocal(shard.ExecConfig{
+			Bin: bin, Slices: execN,
+			Dir: dir, Generate: generate,
+			Workers: workers, CacheDir: cacheDir,
+		})
+		gatherSpan.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Metrics.ObserveDuration(obs.StageShardExec, time.Since(t0))
+	}
+	gatherWall := time.Since(t0)
+
+	mergeSpan := cfg.Span.StartChild(obs.TimerShardMerge)
+	mres, err := shard.Merge(arts, shard.MergeOptions{Metrics: cfg.Metrics, Log: cfg.Log})
+	mergeSpan.End()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := core.Learn(mres.Graph, seedSpec, cfg)
+	res.Stages = append([]core.StageTiming{
+		{Name: gatherName, Duration: gatherWall},
+		{Name: obs.TimerShardMerge, Duration: mres.MergeWall},
+	}, res.Stages...)
+	res.ParseErrors = mres.ParseErrors
+	res.ParseErrorFiles = mres.ParseErrorFiles
+	return res, mres, nil
+}
+
+// coordinatorSeed resolves the seed specification for a coordinator
+// run, mirroring loadInput's choices so distributed and single-process
+// runs of the same corpus learn from the same seed.
+func coordinatorSeed(seedFile string, generate int) (*spec.Spec, error) {
+	if seedFile != "" {
+		data, err := os.ReadFile(seedFile)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Parse(string(data))
+	}
+	if generate > 0 {
+		return corpus.ExperimentSeed(), nil
+	}
+	return spec.Seed(), nil
 }
 
 // stageBreakdown formats the per-stage timing line: each recorded stage

@@ -1,0 +1,38 @@
+package corpus
+
+// Slice returns slice i of n of the corpus, partitioned by project:
+// the sorted project list is cut into contiguous blocks, and a slice
+// carries every file and ground-truth flow of its projects (Truth is
+// shared — it describes the API catalog, not the file set). Slices are
+// deterministic, disjoint, and exhaustive: concatenating slices 0..n-1
+// reproduces the corpus file-for-file and flow-for-flow, in order.
+//
+// Because project names prefix file names, a contiguous block of sorted
+// projects is also a contiguous block of the corpus's sorted file-name
+// order — the property distributed learning needs for a coordinator's
+// merge to be byte-identical to a single-process run (see
+// core.SliceNames for the same contract over raw name lists).
+func (c *Corpus) Slice(n, i int) *Corpus {
+	out := &Corpus{Truth: c.Truth}
+	if n <= 0 || i < 0 || i >= n {
+		return out
+	}
+	projects := c.Projects()
+	lo := i * len(projects) / n
+	hi := (i + 1) * len(projects) / n
+	mine := make(map[string]bool, hi-lo)
+	for _, p := range projects[lo:hi] {
+		mine[p] = true
+	}
+	for _, f := range c.Files {
+		if mine[f.Project] {
+			out.Files = append(out.Files, f)
+		}
+	}
+	for _, fl := range c.Flows {
+		if mine[fl.Project] {
+			out.Flows = append(out.Flows, fl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestSlicePartition: for every slice count, the slices are disjoint,
+// their union is exactly the whole corpus (files and flows), and each
+// slice holds whole projects in sorted order — the property distributed
+// learning's determinism rests on.
+func TestSlicePartition(t *testing.T) {
+	c := Generate(Config{Files: 50})
+	whole := c.FileMap()
+
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		gotFiles := map[string]string{}
+		gotFlows := 0
+		var order []string
+		for i := 0; i < n; i++ {
+			s := c.Slice(n, i)
+			var names []string
+			for _, f := range s.Files {
+				if _, dup := gotFiles[f.Name]; dup {
+					t.Fatalf("n=%d: file %q appears in two slices", n, f.Name)
+				}
+				gotFiles[f.Name] = f.Source
+				names = append(names, f.Name)
+			}
+			// Workers analyze their slice in sorted name order; what must
+			// hold globally is that those per-slice sorted manifests
+			// concatenate into the corpus's global sorted order.
+			sort.Strings(names)
+			order = append(order, names...)
+			gotFlows += len(s.Flows)
+			for _, fl := range s.Flows {
+				if _, ok := gotFiles[fl.File]; !ok {
+					t.Errorf("n=%d slice %d: flow references %q outside the slice", n, i, fl.File)
+				}
+			}
+		}
+		if len(gotFiles) != len(whole) {
+			t.Errorf("n=%d: union has %d files, corpus has %d", n, len(gotFiles), len(whole))
+		}
+		for name, src := range whole {
+			if gotFiles[name] != src {
+				t.Errorf("n=%d: file %q missing or altered in slice union", n, name)
+			}
+		}
+		if gotFlows != len(c.Flows) {
+			t.Errorf("n=%d: slices carry %d flows, corpus has %d", n, gotFlows, len(c.Flows))
+		}
+		// Concatenating slices 0..n-1 must reproduce the global sorted
+		// file order (contiguity is what makes shard merges byte-stable).
+		if !sort.StringsAreSorted(order) {
+			t.Errorf("n=%d: concatenated slice manifests are not globally sorted", n)
+		}
+	}
+}
+
+func TestSliceWholeProjects(t *testing.T) {
+	c := Generate(Config{Files: 40})
+	projFiles := map[string]int{}
+	for _, f := range c.Files {
+		projFiles[f.Project]++
+	}
+	for _, n := range []int{2, 3} {
+		for i := 0; i < n; i++ {
+			s := c.Slice(n, i)
+			seen := map[string]int{}
+			for _, f := range s.Files {
+				seen[f.Project]++
+			}
+			for p, cnt := range seen {
+				if cnt != projFiles[p] {
+					t.Errorf("n=%d slice %d: project %s split (%d of %d files)", n, i, p, cnt, projFiles[p])
+				}
+			}
+		}
+	}
+}
+
+func TestSliceDegenerate(t *testing.T) {
+	c := Generate(Config{Files: 10})
+	for _, tc := range [][2]int{{0, 0}, {2, -1}, {2, 2}, {2, 5}} {
+		s := c.Slice(tc[0], tc[1])
+		if s == nil {
+			t.Fatalf("Slice(%d, %d) = nil, want empty corpus", tc[0], tc[1])
+		}
+		if len(s.Files) != 0 {
+			t.Errorf("Slice(%d, %d) has %d files, want 0", tc[0], tc[1], len(s.Files))
+		}
+	}
+	// More slices than projects: trailing slices are empty, union intact.
+	n := len(c.Projects()) + 3
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(c.Slice(n, i).Files)
+	}
+	if total != len(c.Files) {
+		t.Errorf("%d slices over %d projects cover %d files, want %d",
+			n, len(c.Projects()), total, len(c.Files))
+	}
+}

@@ -93,6 +93,31 @@ const (
 	CounterPoolGets = "pool.gets"
 	CounterPoolNews = "pool.news"
 
+	// Distributed corpus learning (internal/shard). The worker times its
+	// slice analysis and artifact encode; the coordinator times artifact
+	// decode and the shard-graph merge (validation + union + symbol
+	// translation). shard.files and shard.bytes gauge the corpus slice a
+	// worker analyzed — or, on the coordinator, the whole reassembled
+	// corpus and the artifact bytes ingested.
+	StageShardAnalyze = "stage.shard.analyze"
+	StageShardEncode  = "stage.shard.encode"
+	StageShardDecode  = "stage.shard.decode"
+	// StageShardExec is the coordinator's whole local fan-out: spawn N
+	// seldon-shard subprocesses, wait, decode their artifacts.
+	StageShardExec  = "stage.shard.exec"
+	TimerShardMerge = "shard.merge"
+	GaugeShardFiles = "shard.files"
+	GaugeShardBytes = "shard.bytes"
+	// GaugeShardSlices is the shard count a coordinator merged (or the
+	// slice count a worker was partitioned under).
+	GaugeShardSlices = "shard.slices"
+
+	// GaugePipelineWall is the end-to-end wall time of one seldon run in
+	// seconds (front-end through role selection, plus shard decode/merge
+	// on coordinator runs) — the number bench snapshots compare across
+	// single-process and distributed runs.
+	GaugePipelineWall = "pipeline.wall_s"
+
 	// The solver convergence trace (one point per epoch).
 	TraceSolver = "solver.convergence"
 )

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"seldon/internal/core"
+	"seldon/internal/fpcache"
+	"seldon/internal/obs"
+	"seldon/internal/propgraph"
+)
+
+// The worker side: analyze one corpus slice and assemble its artifact.
+// Everything heavy is reused from the in-process pipeline — the parallel
+// per-file front-end (core.AnalyzeFiles, including fpcache consultation
+// through cfg.Cache), the symbol-translating graph union, and the obs
+// stage timers — so a shard worker is the single-process front-end with
+// an encoder where the learner used to be.
+
+// Build analyzes an already-sliced corpus (files is slice i of n, e.g.
+// from core.SliceFiles or corpus.Slice) and returns its artifact plus
+// the front-end result for telemetry. The artifact's graph is the union
+// of the slice's per-file graphs in sorted name order, carrying a
+// per-shard symbol table.
+func Build(files map[string]string, i, n int, cfg core.Config) (*Artifact, *core.FrontEnd, error) {
+	if n < 1 || i < 0 || i >= n {
+		return nil, nil, fmt.Errorf("shard: slice %d of %d out of range", i, n)
+	}
+	t0 := time.Now()
+	fe := core.AnalyzeFiles(files, cfg)
+	g := propgraph.Union(fe.Graphs...)
+	cfg.Metrics.ObserveDuration(obs.StageShardAnalyze, time.Since(t0))
+
+	perr := make(map[string]string, len(fe.ParseErrorFiles))
+	for j, name := range fe.ParseErrorFiles {
+		perr[name] = fe.ParseErrs[j].Error()
+	}
+	metas := make([]FileMeta, len(fe.Names))
+	for j, name := range fe.Names {
+		metas[j] = FileMeta{
+			Name:       name,
+			SHA256:     sha256.Sum256([]byte(files[name])),
+			ParseError: perr[name],
+		}
+	}
+	a := &Artifact{
+		AnalyzerVersion: fpcache.AnalyzerVersion,
+		Slice:           i,
+		Slices:          n,
+		Files:           metas,
+		Graph:           g,
+	}
+	cfg.Metrics.Set(obs.GaugeShardFiles, float64(len(metas)))
+	cfg.Metrics.Set(obs.GaugeShardSlices, float64(n))
+	cfg.Log.Log("shard.build", "slice", i, "of", n, "files", len(metas),
+		"events", len(g.Events))
+	return a, fe, nil
+}
+
+// BuildFromCorpus slices the full corpus by sorted file name
+// (core.SliceFiles) and builds slice i of n — the in-process convenience
+// the tests and single-box executor paths use; a real worker reads only
+// its slice and calls Build.
+func BuildFromCorpus(files map[string]string, i, n int, cfg core.Config) (*Artifact, *core.FrontEnd, error) {
+	return Build(core.SliceFiles(files, i, n), i, n, cfg)
+}

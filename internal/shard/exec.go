@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+)
+
+// The local-process executor: the smallest real deployment of the
+// worker/coordinator split. Each slice is analyzed by a seldon-shard
+// subprocess writing its artifact to a stdout pipe, so the whole
+// distributed flow — worker binary, wire format, coordinator ingestion —
+// is exercised end to end on one box (and in CI) with no scheduler or
+// network. A production deployment replaces this fan-out with remote
+// workers shipping the same artifacts.
+
+// ExecConfig configures a local fan-out.
+type ExecConfig struct {
+	// Bin is the seldon-shard binary to spawn.
+	Bin string
+	// Slices is the number of worker subprocesses (one per slice).
+	Slices int
+	// Dir or Generate designates the corpus, exactly as the worker's
+	// -dir / -generate flags do; every worker gets the same designation
+	// plus its own slice coordinates.
+	Dir      string
+	Generate int
+	// Workers is each subprocess's front-end pool size (0 = its default).
+	Workers int
+	// CacheDir, when set, is a shared fpcache directory passed to every
+	// worker (fpcache writes are atomic, so concurrent workers are safe).
+	CacheDir string
+	// Stderr receives the workers' stderr (nil = the parent's stderr).
+	Stderr io.Writer
+}
+
+// ExecLocal runs one seldon-shard subprocess per slice concurrently,
+// decodes each artifact off its stdout pipe, and returns them in slice
+// order. A worker that exits nonzero, or emits an undecodable artifact,
+// fails the whole fan-out with an error naming the slice.
+func ExecLocal(cfg ExecConfig) ([]*Artifact, error) {
+	if cfg.Slices < 1 {
+		return nil, fmt.Errorf("shard: exec: need at least 1 slice, got %d", cfg.Slices)
+	}
+	stderr := cfg.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	arts := make([]*Artifact, cfg.Slices)
+	errs := make([]error, cfg.Slices)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Slices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args := []string{
+				"-slices", strconv.Itoa(cfg.Slices),
+				"-slice", strconv.Itoa(i),
+				"-o", "-",
+			}
+			switch {
+			case cfg.Dir != "":
+				args = append(args, "-dir", cfg.Dir)
+			case cfg.Generate > 0:
+				args = append(args, "-generate", strconv.Itoa(cfg.Generate))
+			}
+			if cfg.Workers > 0 {
+				args = append(args, "-workers", strconv.Itoa(cfg.Workers))
+			}
+			if cfg.CacheDir != "" {
+				args = append(args, "-cache-dir", cfg.CacheDir)
+			}
+			cmd := exec.Command(cfg.Bin, args...)
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = stderr
+			if err := cmd.Run(); err != nil {
+				errs[i] = fmt.Errorf("shard: exec: slice %d/%d (%s): %w",
+					i, cfg.Slices, cfg.Bin, err)
+				return
+			}
+			a, err := Decode(out.Bytes())
+			if err != nil {
+				errs[i] = fmt.Errorf("shard: exec: slice %d/%d: %w", i, cfg.Slices, err)
+				return
+			}
+			arts[i] = a
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return arts, nil
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"bytes"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"seldon/internal/core"
+	"seldon/internal/corpus"
+	"seldon/internal/propgraph"
+)
+
+// buildWorkerBin compiles cmd/seldon-shard into a temp dir so the test
+// exercises the real subprocess fan-out, pipes and all.
+func buildWorkerBin(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping worker-binary build")
+	}
+	bin := filepath.Join(t.TempDir(), "seldon-shard")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "seldon/cmd/seldon-shard")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build seldon-shard: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(string(bytes.TrimSpace(out)))
+}
+
+// TestExecLocal runs the whole worker/coordinator flow over real
+// subprocesses: 3 seldon-shard processes on a generated corpus, merged,
+// and compared against the in-process union of the same corpus.
+func TestExecLocal(t *testing.T) {
+	bin := buildWorkerBin(t)
+	const nFiles, nSlices = 40, 3
+
+	arts, err := ExecLocal(ExecConfig{
+		Bin: bin, Slices: nSlices, Generate: nFiles,
+		Workers: 1, Stderr: io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("ExecLocal: %v", err)
+	}
+	if len(arts) != nSlices {
+		t.Fatalf("got %d artifacts, want %d", len(arts), nSlices)
+	}
+	for i, a := range arts {
+		if a.Slice != i {
+			t.Errorf("artifact %d claims slice %d", i, a.Slice)
+		}
+		if a.Size == 0 {
+			t.Errorf("artifact %d has no recorded size", i)
+		}
+	}
+
+	res, err := Merge(arts, MergeOptions{})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	files := corpus.Generate(corpus.Config{Files: nFiles}).FileMap()
+	fe := core.AnalyzeFiles(files, core.Config{Workers: 1})
+	want := propgraph.Union(fe.Graphs...)
+	if !bytes.Equal(res.Graph.AppendBinary(nil), want.AppendBinary(nil)) {
+		t.Error("subprocess-merged graph differs from in-process union")
+	}
+	if res.Bytes == 0 {
+		t.Error("merge result records zero artifact bytes")
+	}
+}
+
+// TestExecLocalWorkerFailure: a worker that dies must fail the fan-out
+// with an error naming its slice, not yield a partial merge.
+func TestExecLocalWorkerFailure(t *testing.T) {
+	bin := buildWorkerBin(t)
+	// No corpus designation: every worker exits nonzero.
+	_, err := ExecLocal(ExecConfig{Bin: bin, Slices: 2, Stderr: io.Discard})
+	if err == nil {
+		t.Fatal("ExecLocal succeeded with workers that had no corpus")
+	}
+}
+
+func TestExecLocalRejectsZeroSlices(t *testing.T) {
+	if _, err := ExecLocal(ExecConfig{Bin: "true", Slices: 0}); err == nil {
+		t.Fatal("ExecLocal accepted 0 slices")
+	}
+}

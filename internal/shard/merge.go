@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"seldon/internal/fpcache"
+	"seldon/internal/obs"
+	"seldon/internal/propgraph"
+	"seldon/internal/specio"
+)
+
+// The coordinator side: validate a set of shard artifacts as one
+// complete, consistent partitioning of a corpus and merge their graphs
+// into the global propagation graph a single-process run would have
+// built. Validation is strict and every failure is a named error —
+// learning from a corpus with a hole in it would silently skew the
+// frequencies the whole inference rests on.
+
+// MergeOptions configures telemetry for a merge.
+type MergeOptions struct {
+	// Metrics, when non-nil, receives the shard.merge timer and the
+	// shard.files / shard.bytes / shard.slices gauges.
+	Metrics *obs.Registry
+	// Log, when non-nil, receives one line per merged shard.
+	Log *obs.Logger
+}
+
+// MergeResult is a validated, merged corpus: the global graph plus the
+// manifest-derived facts the coordinator needs to stand in for a
+// single-process run (fingerprint, counts, parse errors).
+type MergeResult struct {
+	// Graph is the global propagation graph: the union of the shard
+	// graphs in slice order, byte-identical to a single-process union of
+	// the whole corpus.
+	Graph *propgraph.Graph
+	// Slices is the validated slice count.
+	Slices int
+	// Files lists every corpus file in slice (= sorted) order; Hashes is
+	// aligned with it (hex sha256 of each file's content).
+	Files  []string
+	Hashes []string
+	// CorpusFingerprint is specio.FingerprintHashes over Files/Hashes —
+	// equal to specio.Fingerprint of the original corpus map.
+	CorpusFingerprint string
+	// ParseErrorFiles names the files whose parse reported an error, in
+	// order; ParseErrors is its length.
+	ParseErrorFiles []string
+	ParseErrors     int
+	// Bytes totals the encoded artifact sizes (0 for artifacts built
+	// in-process); MergeWall is the time spent in validation + union.
+	Bytes     int64
+	MergeWall time.Duration
+}
+
+// Merge validates arts as a complete partitioning and merges them.
+// Artifact order does not matter — slices are reassembled by index —
+// but the set must be exactly one artifact per slice, all cut from the
+// same corpus ordering by the same analyzer version. Any violation is
+// one of the package's named errors.
+func Merge(arts []*Artifact, opts MergeOptions) (*MergeResult, error) {
+	t0 := time.Now()
+	if len(arts) == 0 {
+		return nil, fmt.Errorf("%w: no artifacts", ErrMissingSlice)
+	}
+	count := arts[0].Slices
+	byIdx := make([]*Artifact, count)
+	for _, a := range arts {
+		if a.AnalyzerVersion != fpcache.AnalyzerVersion {
+			return nil, fmt.Errorf("%w: artifact has %q, coordinator has %q",
+				ErrAnalyzerVersion, a.AnalyzerVersion, fpcache.AnalyzerVersion)
+		}
+		if a.Slices != count {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrSliceCount, a.Slices, count)
+		}
+		if a.Slice < 0 || a.Slice >= count {
+			return nil, fmt.Errorf("%w: slice %d of %d out of range", ErrEncoding, a.Slice, count)
+		}
+		if byIdx[a.Slice] != nil {
+			return nil, fmt.Errorf("%w: slice %d of %d appears twice", ErrDuplicateSlice, a.Slice, count)
+		}
+		byIdx[a.Slice] = a
+	}
+	for i, a := range byIdx {
+		if a == nil {
+			return nil, fmt.Errorf("%w: slice %d of %d", ErrMissingSlice, i, count)
+		}
+	}
+
+	res := &MergeResult{Slices: count}
+	graphs := make([]*propgraph.Graph, count)
+	prev := ""
+	for i, a := range byIdx {
+		for j := range a.Files {
+			f := &a.Files[j]
+			// Within an artifact the manifest is sorted (Decode enforces
+			// it); across artifacts strict increase proves the slices are
+			// disjoint cuts of one global ordering.
+			if len(res.Files) > 0 && f.Name <= prev {
+				return nil, fmt.Errorf("%w: slice %d file %q does not follow %q",
+					ErrSliceOrder, i, f.Name, prev)
+			}
+			prev = f.Name
+			res.Files = append(res.Files, f.Name)
+			res.Hashes = append(res.Hashes, fmt.Sprintf("%x", f.SHA256[:]))
+			if f.ParseError != "" {
+				res.ParseErrorFiles = append(res.ParseErrorFiles, f.Name)
+			}
+		}
+		graphs[i] = a.Graph
+		res.Bytes += a.Size
+		opts.Log.Log("shard.merge", "slice", a.Slice, "of", count,
+			"files", len(a.Files), "events", len(a.Graph.Events), "bytes", a.Size)
+	}
+	res.ParseErrors = len(res.ParseErrorFiles)
+	res.CorpusFingerprint = specio.FingerprintHashes(res.Files, res.Hashes)
+
+	// The reduce step: one symbol-translating union in slice order.
+	res.Graph = propgraph.Union(graphs...)
+	res.MergeWall = time.Since(t0)
+
+	opts.Metrics.ObserveDuration(obs.TimerShardMerge, res.MergeWall)
+	opts.Metrics.Set(obs.GaugeShardFiles, float64(len(res.Files)))
+	opts.Metrics.Set(obs.GaugeShardBytes, float64(res.Bytes))
+	opts.Metrics.Set(obs.GaugeShardSlices, float64(count))
+	return res, nil
+}

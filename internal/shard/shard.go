@@ -1,0 +1,339 @@
+// Package shard implements distributed corpus learning: the wire format,
+// worker, and coordinator sides of a map/reduce over propagation graphs.
+//
+// A shard artifact is one worker's output for one deterministic slice of
+// a corpus: a versioned envelope carrying the analyzer version, the
+// slice coordinates (index i of n), a corpus-slice manifest (file names,
+// content sha256s, parse-error text), and the slice's merged propagation
+// graph in propgraph's v2 binary codec with its per-shard symbol table.
+// The whole artifact is sha256-checksummed like an fpcache entry — but
+// where a corrupt cache entry is silently re-analyzed, a corrupt shard
+// artifact is a hard, named error: the coordinator is reassembling a
+// corpus from pieces it cannot recompute, so truncation, bit flips,
+// stale codecs, duplicate slices, and missing slices each fail loudly
+// and distinctly (see the Err* sentinels).
+//
+// Envelope layout (all integers varint unless noted):
+//
+//	magic "SSHD" (4 bytes)
+//	codec version (1 byte)
+//	payload length (uvarint)
+//	payload:
+//	  analyzer version (length-prefixed string)
+//	  slice index, slice count (uvarint, index < count)
+//	  file count (uvarint), then per file in sorted name order:
+//	    name (string), content sha256 (32 raw bytes), parse error (string)
+//	  propagation graph (propgraph v2 binary codec, symbol table included)
+//	sha256 checksum over everything before it (32 bytes)
+//
+// Determinism: slices are contiguous blocks of the corpus's sorted
+// file-name order (core.SliceNames, corpus.Slice), each worker merges
+// its per-file graphs in that order, and the coordinator unions shard
+// graphs in slice-index order with symbol translation — so the merged
+// graph, and everything learned from it, is byte-identical to a
+// single-process run over the concatenated corpus, at any shard count
+// and any artifact arrival order.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"seldon/internal/propgraph"
+)
+
+const (
+	magic = "SSHD"
+	// codecVersion 1 wraps propgraph's binary codec v2; bump it whenever
+	// the envelope layout changes. A version skew is a named error, not a
+	// silent re-analyze — the coordinator cannot rebuild a shard it did
+	// not analyze.
+	codecVersion = 1
+	checksumSize = sha256.Size
+	// headerMin is magic + version byte + at least one length byte.
+	headerMin = len(magic) + 2
+)
+
+// Named ingestion errors. Every way an artifact can be unusable has a
+// distinct sentinel so the coordinator (and its tests) can tell a
+// truncated upload from a flipped bit from a stale worker — none of
+// them is ever skipped silently.
+var (
+	// ErrTruncated: the input ends before the envelope's declared length
+	// (an interrupted transfer or partial write).
+	ErrTruncated = errors.New("shard: truncated artifact")
+	// ErrMagic: the input does not start with the artifact magic.
+	ErrMagic = errors.New("shard: bad magic (not a shard artifact)")
+	// ErrCodecVersion: the envelope was written by an incompatible codec.
+	ErrCodecVersion = errors.New("shard: unsupported codec version")
+	// ErrChecksum: the envelope is complete but its bytes do not hash to
+	// the stored checksum (bit rot or tampering).
+	ErrChecksum = errors.New("shard: checksum mismatch")
+	// ErrTrailing: well-formed artifact followed by extra bytes.
+	ErrTrailing = errors.New("shard: trailing bytes after artifact")
+	// ErrEncoding: the checksum holds but the payload does not parse —
+	// an encoder bug or a hand-crafted artifact.
+	ErrEncoding = errors.New("shard: malformed payload")
+	// ErrAnalyzerVersion: the artifact was produced by a front-end whose
+	// semantics differ from this coordinator's.
+	ErrAnalyzerVersion = errors.New("shard: analyzer version mismatch")
+	// ErrSliceCount: artifacts disagree about how many slices the corpus
+	// was cut into.
+	ErrSliceCount = errors.New("shard: slice-count mismatch")
+	// ErrDuplicateSlice: two artifacts claim the same slice index.
+	ErrDuplicateSlice = errors.New("shard: duplicate slice")
+	// ErrMissingSlice: a slice index has no artifact.
+	ErrMissingSlice = errors.New("shard: missing slice")
+	// ErrSliceOrder: the concatenated slice manifests are not in strictly
+	// increasing file-name order — the slices overlap or were cut from
+	// different partitionings of the corpus.
+	ErrSliceOrder = errors.New("shard: slice ordering violation")
+)
+
+// FileMeta is one corpus file's manifest entry: enough for the
+// coordinator to reproduce the corpus fingerprint and the parse-error
+// report without the file contents.
+type FileMeta struct {
+	Name string
+	// SHA256 is the hash of the file's content (see specio.FileHash for
+	// the hex form the fingerprint is built from).
+	SHA256 [sha256.Size]byte
+	// ParseError is the recovered parse failure's text ("" for a clean
+	// parse); analysis ran over the recovered AST either way.
+	ParseError string
+}
+
+// Artifact is one decoded shard: the manifest of the corpus slice it
+// covers and the slice's merged propagation graph.
+type Artifact struct {
+	// AnalyzerVersion names the front-end semantics the shard was
+	// analyzed under (fpcache.AnalyzerVersion).
+	AnalyzerVersion string
+	// Slice and Slices are the slice coordinates: index i of n.
+	Slice, Slices int
+	// Files lists the slice's manifest in sorted name order.
+	Files []FileMeta
+	// Graph is the union of the slice's per-file propagation graphs,
+	// with its own symbol table.
+	Graph *propgraph.Graph
+	// Size is the artifact's encoded size in bytes; set by Decode (0 for
+	// artifacts built in-process).
+	Size int64
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Encode renders the artifact in the wire format. The bytes are a pure
+// function of the artifact (the embedded graph codec is deterministic
+// and the manifest is ordered), so identical shards encode identically.
+func (a *Artifact) Encode() []byte {
+	payload := make([]byte, 0, 4096)
+	payload = appendString(payload, a.AnalyzerVersion)
+	payload = binary.AppendUvarint(payload, uint64(a.Slice))
+	payload = binary.AppendUvarint(payload, uint64(a.Slices))
+	payload = binary.AppendUvarint(payload, uint64(len(a.Files)))
+	for i := range a.Files {
+		f := &a.Files[i]
+		payload = appendString(payload, f.Name)
+		payload = append(payload, f.SHA256[:]...)
+		payload = appendString(payload, f.ParseError)
+	}
+	payload = a.Graph.AppendBinary(payload)
+
+	out := make([]byte, 0, headerMin+len(payload)+checksumSize+8)
+	out = append(out, magic...)
+	out = append(out, codecVersion)
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = append(out, payload...)
+	sum := sha256.Sum256(out)
+	return append(out, sum[:]...)
+}
+
+// payloadReader is a cursor over the checksummed payload; the first
+// failed read latches err (wrapping ErrEncoding — the checksum already
+// held, so a short or malformed field is an encoder-level fault, not
+// line noise).
+type payloadReader struct {
+	data []byte
+	err  error
+}
+
+func (r *payloadReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrEncoding}, args...)...)
+	}
+}
+
+func (r *payloadReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail("bad %s", what)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *payloadReader) string(what string) string {
+	n := r.uvarint(what + " length")
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)) {
+		r.fail("%s length %d exceeds remaining %d bytes", what, n, len(r.data))
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+func (r *payloadReader) bytes32(what string) (out [checksumSize]byte) {
+	if r.err != nil {
+		return
+	}
+	if len(r.data) < checksumSize {
+		r.fail("short %s", what)
+		return
+	}
+	copy(out[:], r.data)
+	r.data = r.data[checksumSize:]
+	return
+}
+
+// Decode parses one artifact occupying the whole of data. Every failure
+// mode maps to one of the package's named errors; a partial artifact is
+// never returned.
+func Decode(data []byte) (*Artifact, error) {
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the magic", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: %q", ErrMagic, data[:len(magic)])
+	}
+	if len(data) < headerMin {
+		return nil, fmt.Errorf("%w: %d bytes, header incomplete", ErrTruncated, len(data))
+	}
+	if v := data[len(magic)]; v != codecVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrCodecVersion, v, codecVersion)
+	}
+	rest := data[len(magic)+1:]
+	payloadLen, n := binary.Uvarint(rest)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: header length field incomplete", ErrTruncated)
+	}
+	// Guard only against overflow-scale lengths here; a declared length
+	// that merely exceeds the bytes in hand is truncation, caught below.
+	if n < 0 || payloadLen > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrEncoding, payloadLen)
+	}
+	headerLen := len(magic) + 1 + n
+	total := headerLen + int(payloadLen) + checksumSize
+	if len(data) < total {
+		return nil, fmt.Errorf("%w: have %d bytes, envelope declares %d", ErrTruncated, len(data), total)
+	}
+	if len(data) > total {
+		return nil, fmt.Errorf("%w: %d extra bytes", ErrTrailing, len(data)-total)
+	}
+	body, sum := data[:total-checksumSize], data[total-checksumSize:]
+	if want := sha256.Sum256(body); string(want[:]) != string(sum) {
+		return nil, ErrChecksum
+	}
+
+	r := &payloadReader{data: body[headerLen:]}
+	a := &Artifact{Size: int64(len(data))}
+	a.AnalyzerVersion = r.string("analyzer version")
+	a.Slice = int(r.uvarint("slice index"))
+	a.Slices = int(r.uvarint("slice count"))
+	if r.err == nil && (a.Slices < 1 || a.Slice >= a.Slices) {
+		r.fail("slice %d of %d out of range", a.Slice, a.Slices)
+	}
+	numFiles := r.uvarint("file count")
+	if r.err == nil && numFiles > uint64(len(r.data)) {
+		r.fail("file count %d exceeds remaining %d bytes", numFiles, len(r.data))
+	}
+	if r.err == nil && numFiles > 0 {
+		a.Files = make([]FileMeta, 0, numFiles)
+		for i := 0; i < int(numFiles) && r.err == nil; i++ {
+			f := FileMeta{Name: r.string("file name")}
+			f.SHA256 = r.bytes32("file hash")
+			f.ParseError = r.string("parse error")
+			if r.err == nil && i > 0 && f.Name <= a.Files[i-1].Name {
+				r.fail("manifest not in sorted order at %q", f.Name)
+			}
+			a.Files = append(a.Files, f)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	g, tail, err := propgraph.DecodeBinary(r.data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	if len(tail) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes after graph", ErrEncoding, len(tail))
+	}
+	a.Graph = g
+	return a, nil
+}
+
+// ReadFile loads and decodes one artifact from path.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Write encodes the artifact to w and returns the bytes written.
+func Write(w io.Writer, a *Artifact) (int64, error) {
+	data := a.Encode()
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// WriteFile writes the artifact to path atomically (temp file + rename,
+// the fpcache pattern), so a crashed worker never leaves a partial
+// artifact that a coordinator could pick up.
+func WriteFile(path string, a *Artifact) (int64, error) {
+	data := a.Encode()
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return int64(len(data)), nil
+}

@@ -160,15 +160,40 @@ func FingerprintStore(s *spec.Spec, meta Meta) (string, error) {
 	return fmt.Sprintf("sha256:%x", sum[:]), nil
 }
 
-// Fingerprint hashes a corpus (name → source) into a stable identifier:
-// sha256 over length-prefixed (name, content) pairs in sorted name
-// order, so the result is independent of map iteration order.
+// FileHash returns the sha256 of one file's content, hex-encoded — the
+// per-file leaf the corpus fingerprint is built from. Shard manifests
+// carry these hashes so a distributed coordinator can reproduce the
+// corpus fingerprint without ever seeing the file contents.
+func FileHash(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return fmt.Sprintf("%x", sum[:])
+}
+
+// Fingerprint hashes a corpus (name → source) into a stable identifier.
+// It is Merkle-shaped: sha256 over length-prefixed (name, FileHash)
+// pairs in sorted name order — a pure function of the corpus contents,
+// independent of map iteration order, and composable from per-file
+// hashes alone (see FingerprintHashes), which is what lets a shard
+// coordinator stamp the same fingerprint a single-process run would.
 func Fingerprint(files map[string]string) string {
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	hashes := make([]string, len(names))
+	for i, n := range names {
+		hashes[i] = FileHash(files[n])
+	}
+	return FingerprintHashes(names, hashes)
+}
+
+// FingerprintHashes computes the corpus fingerprint from (name, hash)
+// pairs, where hashes[i] = FileHash of names[i]'s content and names are
+// in sorted order. Fingerprint(files) == FingerprintHashes over the
+// same corpus — the equality the distributed determinism oracle rests
+// on.
+func FingerprintHashes(names, hashes []string) string {
 	h := sha256.New()
 	var lenBuf [8]byte
 	writePart := func(s string) {
@@ -176,9 +201,9 @@ func Fingerprint(files map[string]string) string {
 		h.Write(lenBuf[:])
 		h.Write([]byte(s))
 	}
-	for _, n := range names {
+	for i, n := range names {
 		writePart(n)
-		writePart(files[n])
+		writePart(hashes[i])
 	}
 	return fmt.Sprintf("sha256:%x", h.Sum(nil))
 }
