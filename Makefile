@@ -2,9 +2,9 @@ GO ?= go
 
 # bench-json snapshot name; parameterized so each PR's snapshot
 # (BENCH_<pr>.json) doesn't overwrite the last.
-BENCH ?= BENCH_8.json
+BENCH ?= BENCH_9.json
 
-.PHONY: build test vet race verify bench bench-json serve loadsmoke load shardsmoke
+.PHONY: build test vet race verify bench bench-json serve loadsmoke load shardsmoke feedbacksmoke
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,10 @@ race:
 	$(GO) test -race ./internal/obs/... ./internal/lp/... ./internal/core/... ./internal/fpcache/... ./internal/service/... ./internal/propgraph/... ./internal/constraints/... ./internal/shard/...
 
 # verify = tier-1 (build + full tests) plus vet, the race checks, the
-# end-to-end load smoke (real seldond + seldonload over loopback), and
-# the distributed-learning smoke (real worker subprocesses + coordinator).
-verify: vet race build test loadsmoke shardsmoke
+# end-to-end load smoke (real seldond + seldonload over loopback), the
+# distributed-learning smoke (real worker subprocesses + coordinator),
+# and the continuous-learning smoke (feedback loop under -race).
+verify: vet race build test loadsmoke shardsmoke feedbacksmoke
 	@echo "verify OK"
 
 # loadsmoke boots the service in-process on a free port, drives two
@@ -68,6 +69,17 @@ shardsmoke:
 	echo "shardsmoke OK: coordinator stores byte-identical to single-process"; \
 	st=$$?; rm -rf .shardsmoke; exit $$st
 
+# feedbacksmoke drives the continuous-learning loop end to end under
+# the race detector: learn a store inside an incremental session, serve
+# it, report a finding over a learned entry, warm the check cache with
+# an identical request, reject the finding via POST /v1/feedback
+# (asserting a new store generation, a fully span-reused warm re-solve,
+# and that the previously-cached check no longer reports the flow),
+# then accept the same symbol and assert the finding returns. A stale
+# cache entry, missing pin, or stuck generation fails CI here.
+feedbacksmoke:
+	$(GO) run -race ./cmd/feedbacksmoke
+
 # load runs a longer self-served closed-loop measurement and prints the
 # latency percentiles (see also: seldonload -rps for open-loop SLO runs
 # against an already-running seldond).
@@ -94,7 +106,13 @@ bench:
 # box the fan-out can only lose; the numbers that must stay small
 # regardless are merge_s and exec overhead beyond the slowest worker.
 # The section merges must stay after the typed benchjson rewrite, which
-# drops foreign sections.
+# drops foreign sections. Last, an "incremental" section compares a
+# from-scratch re-learn of a mutated on-disk corpus against a
+# persistent-session re-learn (seldon -session-dir) of the same corpus:
+# full vs delta wall (the delta run re-analyzes one changed file out of
+# 240), span/constraint reuse, and warm vs cold solver epochs. The
+# invariant worth watching is delta_wall_s staying a small fraction of
+# full_wall_s — that ratio is the whole point of internal/incr.
 bench-json:
 	rm -rf .benchcache && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -o .benchspecs.json >/dev/null && \
@@ -113,7 +131,19 @@ bench-json:
 		-metrics-json .dist_shards.json >/dev/null 2>&1 && \
 	$(GO) run ./cmd/benchjson -dist-single .dist_single.json -dist-shards .dist_shards.json \
 		-shards 4 -into $(BENCH) && \
-	rm -rf .benchspecs.json .shardbin .dist_single.json .dist_shards.json
+	rm -rf .incrcorpus .incrsession && \
+	$(GO) run ./cmd/corpusgen -out .incrcorpus -files 240 >/dev/null && \
+	$(GO) run ./cmd/seldon -dir .incrcorpus -seedfile .incrcorpus/seed.spec \
+		-session-dir .incrsession >/dev/null && \
+	f=$$(ls .incrcorpus/proj000/*.py | head -n1) && \
+	printf '\ndef bench_probe(q):\n    y = q.fetch()\n' >> $$f && \
+	$(GO) run ./cmd/seldon -dir .incrcorpus -seedfile .incrcorpus/seed.spec \
+		-session-dir .incrsession -metrics-json .incr_delta.json >/dev/null && \
+	$(GO) run ./cmd/seldon -dir .incrcorpus -seedfile .incrcorpus/seed.spec \
+		-metrics-json .incr_full.json >/dev/null && \
+	$(GO) run ./cmd/benchjson -incr-full .incr_full.json -incr-delta .incr_delta.json -into $(BENCH) && \
+	rm -rf .benchspecs.json .shardbin .dist_single.json .dist_shards.json \
+		.incrcorpus .incrsession .incr_full.json .incr_delta.json
 
 # serve learns a spec store (if absent) and boots the taint service on
 # :8647 — /v1/check, /v1/specs, /v1/healthz, /metrics, /debug/pprof/.

@@ -21,6 +21,14 @@
 // already present:
 //
 //	benchjson -dist-single s.json -dist-shards d.json -shards 4 -into BENCH.json
+//
+// A third mode compares a from-scratch re-learn of a mutated corpus
+// against an incremental-session re-learn of the same corpus (seldon
+// -session-dir) and merges an "incremental" section — full vs delta
+// wall, speedup, span/constraint reuse, and warm vs cold solver
+// epochs:
+//
+//	benchjson -incr-full full.json -incr-delta delta.json -into BENCH.json
 package main
 
 import (
@@ -40,12 +48,20 @@ func main() {
 	distSingle := flag.String("dist-single", "", "metrics snapshot of a single-process seldon run (selects distributed-section mode)")
 	distShards := flag.String("dist-shards", "", "metrics snapshot of a seldon -exec-shards coordinator run")
 	shards := flag.Int("shards", 0, "shard count of the -dist-shards run")
+	incrFull := flag.String("incr-full", "", "metrics snapshot of a from-scratch re-learn (selects incremental-section mode)")
+	incrDelta := flag.String("incr-delta", "", "metrics snapshot of a session (-session-dir) re-learn of the same corpus")
 	flag.Parse()
 	if *into == "" {
 		fatal(fmt.Errorf("need -into <snapshot.json>"))
 	}
 	if *distSingle != "" || *distShards != "" {
 		if err := mergeDistributed(*into, *distSingle, *distShards, *shards); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *incrFull != "" || *incrDelta != "" {
+		if err := mergeIncremental(*into, *incrFull, *incrDelta); err != nil {
 			fatal(err)
 		}
 		return
@@ -176,6 +192,64 @@ func mergeDistributed(into, singlePath, shardsPath string, shards int) error {
 	}
 	fmt.Printf("merged distributed section (%d shards, %.2fx) into %s\n",
 		shards, singleWall/shardWall, into)
+	return nil
+}
+
+// mergeIncremental builds the "incremental" section from two metrics
+// snapshots of the same mutated corpus — one learned from scratch, one
+// re-learned through a persistent session (seldon -session-dir) — and
+// merges it into the snapshot file. delta_wall_s against full_wall_s is
+// the headline: the session run re-analyzes only the changed files and
+// warm-starts the solver, so its wall should stay well under the
+// from-scratch wall even though a fresh process rebuilds the
+// flow-constraint cache once.
+func mergeIncremental(into, fullPath, deltaPath string) error {
+	if fullPath == "" || deltaPath == "" {
+		return fmt.Errorf("incremental mode needs both -incr-full and -incr-delta")
+	}
+	full, err := readSnapshot(fullPath)
+	if err != nil {
+		return err
+	}
+	delta, err := readSnapshot(deltaPath)
+	if err != nil {
+		return err
+	}
+	fullWall := full.Gauges[obs.GaugePipelineWall]
+	deltaWall := delta.Gauges[obs.GaugePipelineWall]
+	if fullWall <= 0 || deltaWall <= 0 {
+		return fmt.Errorf("snapshots lack the %s gauge (need seldon runs with -metrics-json)", obs.GaugePipelineWall)
+	}
+	sec := map[string]any{
+		"full_wall_s":        fullWall,
+		"delta_wall_s":       deltaWall,
+		"speedup":            fullWall / deltaWall,
+		"files":              delta.Gauges[obs.GaugeIncrFiles],
+		"files_changed":      delta.Gauges[obs.GaugeIncrFilesChanged],
+		"spans_reused":       delta.Gauges[obs.GaugeIncrSpansReused],
+		"constraints_reused": delta.Gauges[obs.GaugeIncrConstraintsReused],
+		"cold_epochs":        full.Gauges[obs.GaugeSolverEpochs],
+		"warm_epochs":        delta.Gauges[obs.GaugeSolverEpochs],
+		"warm_epochs_saved":  delta.Gauges[obs.GaugeWarmEpochsSaved],
+	}
+
+	data, err := os.ReadFile(into)
+	if err != nil {
+		return err
+	}
+	doc := map[string]any{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", into, err)
+	}
+	doc["incremental"] = sec
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(into, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged incremental section (%.2fx delta speedup) into %s\n", fullWall/deltaWall, into)
 	return nil
 }
 

@@ -34,6 +34,19 @@
 //
 //	seldon -dir repo -cache-dir ~/.cache/seldon
 //	seldon -dir repo -cache-dir ~/.cache/seldon -cache-clear
+//
+// Continuous learning: -session-dir persists the whole learning state
+// (per-file propagation graphs, previous solution, feedback pins)
+// between runs. A re-run diffs the corpus against the session, splices
+// only changed files, reuses the cached constraint blocks of unchanged
+// ones, and warm-starts the solver from the previous solution — same
+// store as a from-scratch run, a fraction of the work. -feedback
+// replays operator verdicts (accept/reject of a (symbol, role)) into
+// the session as hard constraints before re-learning; the same session
+// directory powers seldond's live /v1/feedback endpoint.
+//
+//	seldon -generate 240 -session-dir .seldon-session -o specs.json
+//	seldon -dir repo -session-dir s -feedback verdicts.json -o specs.json
 package main
 
 import (
@@ -76,6 +89,9 @@ func main() {
 
 		cacheDir   = flag.String("cache-dir", "", "persistent per-file analysis cache directory (content-addressed; results are bitwise identical with or without it)")
 		cacheClear = flag.Bool("cache-clear", false, "empty -cache-dir before the run")
+
+		sessionDir   = flag.String("session-dir", "", "persistent incremental-learning session directory: re-learns only what changed since the last run there (results identical to from-scratch)")
+		feedbackFile = flag.String("feedback", "", "JSON file of {symbol, role, verdict} objects replayed into the session as hard pins (requires -session-dir)")
 
 		verbose     = flag.Bool("v", false, "log pipeline stages and parse errors to stderr")
 		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
@@ -121,6 +137,12 @@ func main() {
 	}
 
 	coordinating := *shardsIn != "" || *execShards > 0
+	if *feedbackFile != "" && *sessionDir == "" {
+		fatal(fmt.Errorf("-feedback requires -session-dir"))
+	}
+	if *sessionDir != "" && coordinating {
+		fatal(fmt.Errorf("-session-dir does not compose with shard coordination"))
+	}
 
 	// Every run is one trace: the pipeline stages become child spans so
 	// -v can print where the time went as a tree, mirroring what seldond
@@ -181,10 +203,18 @@ func main() {
 		}
 		seedSpec = seed
 		rootSpan.SetAttr("files", len(files))
-		res = core.LearnFromSources(files, seedSpec, cfg)
+		if *sessionDir != "" {
+			res, err = runSession(*sessionDir, *feedbackFile, files, seedSpec, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			summary = fmt.Sprintf("re-learned %d files incrementally", len(files))
+		} else {
+			res = core.LearnFromSources(files, seedSpec, cfg)
+			summary = fmt.Sprintf("analyzed %d files", len(files))
+		}
 		nFiles = len(files)
 		fingerprint = specio.Fingerprint(files)
-		summary = fmt.Sprintf("analyzed %d files", nFiles)
 	}
 	rootSpan.End()
 	reg.Set(obs.GaugePipelineWall, time.Since(runStart).Seconds())

@@ -29,6 +29,19 @@
 // concurrent identical checks coalesce onto one analysis; size the
 // cache with -check-cache-entries / -check-cache-bytes (0 turns both
 // layers off). Hit rates and pool stats surface in /v1/healthz.
+//
+// Continuous learning: -session-dir attaches the incremental-learning
+// session persisted by `seldon -session-dir`, enabling POST
+// /v1/feedback — accept/reject a check finding (by its id) or a
+// (symbol, role) pair, and the server pins the verdict as a hard
+// constraint, re-solves warm-started over the cached constraint blocks,
+// and swaps the re-learned store in as a new generation (check results
+// re-cache under the new epoch automatically). The updated session is
+// persisted back on shutdown.
+//
+//	seldon -generate 240 -session-dir s -o specs.json
+//	seldond -specs specs.json -session-dir s
+//	curl -s -XPOST -d '{"finding_id":"<id>","verdict":"reject"}' localhost:8647/v1/feedback
 package main
 
 import (
@@ -41,6 +54,8 @@ import (
 	"time"
 
 	"seldon/internal/checkcache"
+	"seldon/internal/core"
+	"seldon/internal/incr"
 	"seldon/internal/obs"
 	"seldon/internal/obs/trace"
 	"seldon/internal/service"
@@ -61,6 +76,8 @@ func main() {
 			"check-result cache entry cap (0 disables the cache and coalescing)")
 		cacheBytes = flag.Int64("check-cache-bytes", checkcache.DefaultMaxBytes,
 			"check-result cache byte cap (0 disables the cache and coalescing)")
+		sessionDir = flag.String("session-dir", "",
+			"incremental-learning session directory (from `seldon -session-dir`); enables POST /v1/feedback")
 		verbose = flag.Bool("v", false, "log requests and lifecycle events to stderr")
 	)
 	flag.Parse()
@@ -85,9 +102,27 @@ func main() {
 	}
 
 	reg := obs.New()
+
+	// A session turns on the continuous-learning loop: /v1/feedback pins
+	// operator verdicts, re-solves incrementally, and publishes the
+	// re-learned store as a new generation. The session adopts the seed
+	// and knobs persisted by `seldon -session-dir`; on shutdown the
+	// accumulated pins and solution are written back.
+	var sess *incr.Session
+	if *sessionDir != "" {
+		var err error
+		sess, err = incr.LoadDir(*sessionDir, nil, core.Config{Workers: 1, Metrics: reg, Log: logger})
+		if err != nil {
+			fatal(fmt.Errorf("loading session from %s: %w (create one with `seldon -session-dir`)", *sessionDir, err))
+		}
+		fmt.Printf("seldond: learning session loaded from %s (%d corpus files, %d pins); /v1/feedback enabled\n",
+			*sessionDir, sess.Len(), sess.Pins())
+	}
+
 	srv := service.New(service.Config{
 		Spec:              sp,
 		Meta:              meta,
+		Session:           sess,
 		StorePath:         *specsPath,
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -120,6 +155,12 @@ func main() {
 	// than after the process looks healthy.
 	if err := srv.Run(ctx, *addr); err != nil {
 		fatal(err)
+	}
+	if sess != nil {
+		if err := sess.SaveDir(*sessionDir); err != nil {
+			fatal(fmt.Errorf("persisting session: %w", err))
+		}
+		fmt.Printf("seldond: session persisted to %s (%d pins)\n", *sessionDir, sess.Pins())
 	}
 	fmt.Println("seldond: drained, bye")
 }

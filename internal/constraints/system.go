@@ -189,6 +189,23 @@ func (s *System) InfoFor(eventID int) *EventInfo {
 // Build constructs the constraint system for a global propagation graph.
 func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 	opts = opts.withDefaults()
+	s, workers := buildCore(g, seed, opts)
+	m := opts.Metrics
+
+	// Pass 4: flow constraints per weakly connected component.
+	t0 := time.Now()
+	s.buildFlowConstraints(g)
+	m.ObserveDuration(obs.StageConstraintsFlow, time.Since(t0))
+
+	s.finishMetrics(workers)
+	return s
+}
+
+// buildCore runs passes 1–3 (frequencies, candidate filter, variables +
+// seed pins) and returns the system ready for flow-constraint
+// generation, plus the resolved worker count. It is shared by Build and
+// BuildIncremental so both produce bit-identical variable tables.
+func buildCore(g *propgraph.Graph, seed *spec.Spec, opts Options) (*System, int) {
 	s := &System{
 		Syms:        g.Syms,
 		infoByEvent: make([]int, len(g.Events)),
@@ -358,14 +375,15 @@ func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 		Known:   known,
 	}
 	m.ObserveDuration(obs.StageConstraintsVars, time.Since(t0))
+	return s, workers
+}
 
-	// Pass 4: flow constraints per weakly connected component.
-	t0 = time.Now()
-	s.buildFlowConstraints(g)
-	m.ObserveDuration(obs.StageConstraintsFlow, time.Since(t0))
-
+// finishMetrics publishes the constraint-system size gauges once the
+// flow pass has run.
+func (s *System) finishMetrics(workers int) {
+	m := s.Opts.Metrics
 	m.Set("constraints.vars", float64(len(s.Vars)))
-	m.Set("constraints.known_vars", float64(len(known)))
+	m.Set("constraints.known_vars", float64(len(s.Problem.Known)))
 	m.Set("constraints.events", float64(len(s.EventInfos)))
 	m.Set("constraints.total", float64(len(s.Problem.Constraints)))
 	m.Set("constraints.pattern_a", float64(s.CountA))
@@ -373,7 +391,6 @@ func Build(g *propgraph.Graph, seed *spec.Spec, opts Options) *System {
 	m.Set("constraints.pattern_c", float64(s.CountC))
 	m.Set("constraints.skipped_components", float64(s.SkippedComponents))
 	m.Set("constraints.workers", float64(workers))
-	return s
 }
 
 // terms builds the backoff-averaged linear terms for an event playing a

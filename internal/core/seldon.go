@@ -169,6 +169,34 @@ func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
 		res.System = constraints.Build(g, seed, copts)
 	})
 
+	res.solveAndSelect(cfg, start)
+	return res
+}
+
+// LearnPrepared runs the solve + select half of the pipeline over an
+// already-built constraint system, skipping constraints.Build. It is the
+// entry point for callers that assemble the system some other way — the
+// incremental session (internal/incr) rebuilds only the constraint
+// blocks whose supporting files changed and hands the spliced system
+// here, typically with Config.Solver.WarmStart carrying the previous
+// solution. The result is identical to Learn on the same (graph, system)
+// pair.
+func LearnPrepared(g *propgraph.Graph, sys *constraints.System, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	res := &Result{
+		Graph:      g,
+		System:     sys,
+		EventRoles: make(map[int]propgraph.RoleSet),
+	}
+	res.solveAndSelect(cfg, start)
+	return res
+}
+
+// solveAndSelect finishes a learning run whose System is already in
+// place: interning summary, projected-Adam solve, and role selection.
+func (res *Result) solveAndSelect(cfg Config, start time.Time) {
+	g := res.Graph
 	// Interning summary of the graph just learned on.
 	strs := g.Syms.Strings()
 	var occBytes int64
@@ -207,7 +235,7 @@ func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
 	})
 	res.Solution = sol.X
 	res.SolverEpochs = sol.Iterations
-	cfg.Metrics.Set("solver.epochs", float64(sol.Iterations))
+	cfg.Metrics.Set(obs.GaugeSolverEpochs, float64(sol.Iterations))
 	cfg.Metrics.Set("solver.objective", sol.Objective)
 	cfg.Metrics.Set("solver.violation", sol.Violation)
 	cfg.Log.Log("solver.done", "epochs", sol.Iterations,
@@ -218,7 +246,6 @@ func Learn(g *propgraph.Graph, seed *spec.Spec, cfg Config) *Result {
 	})
 	cfg.Metrics.Set("select.predictions", float64(len(res.Predictions)))
 	res.InferenceTime = time.Since(start)
-	return res
 }
 
 // LearnFromSources parses and analyzes a set of Python files (name →

@@ -197,6 +197,19 @@ func minimizeKernel(p *Problem, opts Options) *Result {
 	k := compile(p)
 	n := p.NumVars
 	x := make([]float64, n)
+	if len(opts.WarmStart) == n {
+		// Warm start: clamp the donated iterate into the box, then pin.
+		// Pinned variables always carry their pinned values regardless of
+		// what the warm vector says.
+		for i, v := range opts.WarmStart {
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			x[i] = v
+		}
+	}
 	k.pin(x)
 
 	if opts.Iterations < 1 {
@@ -213,6 +226,7 @@ func minimizeKernel(p *Problem, opts Options) *Result {
 	bestObj := math.Inf(1)
 	prevObj := math.Inf(1)
 	iters := 0
+	stale := 0
 	tel := newEpochTelemetry(opts, x)
 	// Telemetry for the epoch whose objective is still pending.
 	var gradSq, stepSq float64
@@ -229,10 +243,16 @@ func minimizeKernel(p *Problem, opts Options) *Result {
 			if obj < bestObj {
 				bestObj = obj
 				copy(best, x)
+				stale = 0
+			} else {
+				stale++
 			}
 			tel.emitPrecomputed(t-1, obj, bestObj, hinge, gradSq, stepSq)
 			pending = false
 			if math.Abs(prevObj-obj) < opts.Tolerance {
+				break
+			}
+			if opts.Patience > 0 && stale >= opts.Patience {
 				break
 			}
 			prevObj = obj

@@ -108,6 +108,23 @@ func (p *Problem) masks() *problemMask {
 	return m
 }
 
+// Pin records v as a known (hand-labeled or operator-pinned) variable
+// with the given value and invalidates the compiled mask, so a solver
+// run after the call sees the new pin. It is the supported way to add
+// feedback pins on top of an already-built system — mutating Known
+// directly can leave a stale cached mask when the entry count happens
+// not to change.
+func (p *Problem) Pin(v int, val float64) {
+	if v < 0 || v >= p.NumVars {
+		return
+	}
+	if p.Known == nil {
+		p.Known = make(map[int]float64)
+	}
+	p.Known[v] = val
+	p.mask = nil
+}
+
 // Objective evaluates the relaxed objective at x.
 func (p *Problem) Objective(x []float64) float64 {
 	free := p.masks().free
@@ -152,6 +169,24 @@ type Options struct {
 	// term, gradient norm, step size, wall time). Leaving it nil keeps
 	// the solver on its telemetry-free fast path.
 	OnEpoch func(EpochStats)
+	// WarmStart, when its length equals Problem.NumVars, seeds the
+	// iterate with a previous solution instead of all zeros: values are
+	// clamped to [0,1] and pinned variables are re-pinned on top. A
+	// vector of any other length is ignored (cold start). Only the start
+	// point changes — Adam's moment estimates still begin at zero — so a
+	// warm solve walks the same descent dynamics from a closer iterate
+	// and typically converges in fewer epochs (Result.Iterations; the
+	// caller can report the saving, e.g. the solver.warm_epochs_saved
+	// gauge internal/incr publishes).
+	WarmStart []float64
+	// Patience, when positive, stops the solve after that many
+	// consecutive epochs without a best-objective improvement. Adam's
+	// per-epoch objective jitters forever on a hinge landscape, so the
+	// Tolerance check rarely fires; the plateau check is how a
+	// warm-started re-solve that begins at (or near) the optimum
+	// actually gets to stop early. Zero disables it, keeping the exact
+	// fixed-budget behaviour cold solves are calibrated against.
+	Patience int
 }
 
 func (o Options) withDefaults() Options {

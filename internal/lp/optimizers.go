@@ -35,6 +35,11 @@ func MinimizeWith(p *Problem, opts Options, method Method) *Result {
 	opts = opts.withDefaults()
 	n := p.NumVars
 	x := make([]float64, n)
+	if len(opts.WarmStart) == n {
+		for i, v := range opts.WarmStart {
+			x[i] = math.Min(1, math.Max(0, v))
+		}
+	}
 	pin := func(xs []float64) {
 		for v, val := range p.Known {
 			if v >= 0 && v < n {
@@ -56,6 +61,7 @@ func MinimizeWith(p *Problem, opts Options, method Method) *Result {
 	bestObj := p.Objective(x)
 	prevObj := math.Inf(1)
 	iters := 0
+	stale := 0
 	tel := newEpochTelemetry(opts, x)
 
 	for t := 1; t <= opts.Iterations; t++ {
@@ -103,9 +109,15 @@ func MinimizeWith(p *Problem, opts Options, method Method) *Result {
 		if obj < bestObj {
 			bestObj = obj
 			copy(best, x)
+			stale = 0
+		} else {
+			stale++
 		}
 		tel.emit(p, t, x, grad, free, obj, bestObj)
 		if math.Abs(prevObj-obj) < opts.Tolerance {
+			break
+		}
+		if opts.Patience > 0 && stale >= opts.Patience {
 			break
 		}
 		prevObj = obj

@@ -35,6 +35,7 @@ func minimizeReference(p *Problem, opts Options) *Result {
 	bestObj := p.Objective(x)
 	prevObj := math.Inf(1)
 	iters := 0
+	stale := 0
 	tel := newEpochTelemetry(opts, x)
 
 	for t := 1; t <= opts.Iterations; t++ {
@@ -84,9 +85,15 @@ func minimizeReference(p *Problem, opts Options) *Result {
 		if obj < bestObj {
 			bestObj = obj
 			copy(best, x)
+			stale = 0
+		} else {
+			stale++
 		}
 		tel.emit(p, t, x, grad, free, obj, bestObj)
 		if math.Abs(prevObj-obj) < opts.Tolerance {
+			break
+		}
+		if opts.Patience > 0 && stale >= opts.Patience {
 			break
 		}
 		prevObj = obj

@@ -112,6 +112,40 @@ const (
 	// slice count a worker was partitioned under).
 	GaugeShardSlices = "shard.slices"
 
+	// Incremental learning (internal/incr). The stage.incr.* timers
+	// decompose one session operation: retract/splice are the delta
+	// operations on the per-file graph set, rebuild is the union +
+	// delta-aware constraint build, resolve the warm-started solve +
+	// role selection.
+	StageIncrRetract = "stage.incr.retract"
+	StageIncrSplice  = "stage.incr.splice"
+	StageIncrRebuild = "stage.incr.rebuild"
+	StageIncrResolve = "stage.incr.resolve"
+	// incr.files is the session's current file count; incr.files_changed
+	// the files spliced or retracted since the last relearn.
+	// incr.spans_reused / incr.constraints_reused report how much of the
+	// flow-constraint pass the per-file block cache supplied on the last
+	// build (constraints.BuildIncremental).
+	GaugeIncrFiles             = "incr.files"
+	GaugeIncrFilesChanged      = "incr.files_changed"
+	GaugeIncrSpansReused       = "incr.spans_reused"
+	GaugeIncrConstraintsReused = "incr.constraints_reused"
+	// GaugeSolverEpochs is the epoch count of the last solve;
+	// GaugeWarmEpochsSaved is the epoch saving of the last warm-started
+	// solve versus the session's most recent cold solve of the same
+	// corpus shape (clamped at zero).
+	GaugeSolverEpochs    = "solver.epochs"
+	GaugeWarmEpochsSaved = "solver.warm_epochs_saved"
+
+	// The continuous-learning feedback loop (seldond /v1/feedback).
+	// Counters split verdicts by direction; feedback.resolves counts the
+	// incremental re-solves feedback triggered; feedback.pinned_vars is
+	// the number of variables currently pinned by operator verdicts.
+	CounterFeedbackAccepted = "feedback.accepted"
+	CounterFeedbackRejected = "feedback.rejected"
+	CounterFeedbackResolves = "feedback.resolves"
+	GaugeFeedbackPinnedVars = "feedback.pinned_vars"
+
 	// GaugePipelineWall is the end-to-end wall time of one seldon run in
 	// seconds (front-end through role selection, plus shard decode/merge
 	// on coordinator runs) — the number bench snapshots compare across

@@ -21,8 +21,12 @@ import (
 	"seldon/internal/taint"
 )
 
-// Finding is one taint report in a /v1/check response.
+// Finding is one taint report in a /v1/check response. ID is a
+// deterministic content hash of the finding (file, endpoints, positions,
+// category) — stable across requests, cache paths, and restarts — and
+// is the handle POST /v1/feedback accepts verdicts against.
 type Finding struct {
+	ID        string `json:"id"`
 	File      string `json:"file"`
 	Source    string `json:"source"`
 	Sink      string `json:"sink"`
@@ -421,9 +425,11 @@ func (s *Server) check(root *trace.Span, st storeState, name, source string,
 			SinkPos:   rep.SinkPos.String(),
 			Category:  string(rep.Category),
 		}
+		f.ID = findingID(&f)
 		if withTrace {
 			f.Trace = rep.Trace(union)
 		}
+		s.recordFinding(&f)
 		cc.Findings = append(cc.Findings, f)
 	}
 	sum := taint.Summarize(reports)
@@ -449,9 +455,13 @@ type SpecEntry struct {
 	Args []int  `json:"args,omitempty"`
 }
 
-// SpecsResponse is the /v1/specs response body.
+// SpecsResponse is the /v1/specs response body. Epoch names the store
+// generation the entries came from (the key /v1/check responses are
+// cached under); it changes on every effective reload and on every
+// feedback re-solve.
 type SpecsResponse struct {
 	Schema    int         `json:"schema"`
+	Epoch     string      `json:"epoch"`
 	Meta      specio.Meta `json:"meta"`
 	Count     int         `json:"count"`
 	Entries   []SpecEntry `json:"entries"`
@@ -484,7 +494,7 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	st := s.currentStore()
-	resp := &SpecsResponse{Schema: specio.SchemaVersion, Meta: st.meta, Entries: []SpecEntry{}}
+	resp := &SpecsResponse{Schema: specio.SchemaVersion, Epoch: st.epoch, Meta: st.meta, Entries: []SpecEntry{}}
 	add := func(role string, reps []string) {
 		if roleFilter != "" && roleFilter != role {
 			return
@@ -522,8 +532,11 @@ type HealthResponse struct {
 	Status string `json:"status"`
 	Specs  int    `json:"specs"`
 	// StoreFingerprint identifies the active store generation (changes
-	// on every effective reload); Schema is the store schema version.
+	// on every effective reload); Epoch is the generation name check
+	// results are cached under (fingerprint-derived, advances on reloads
+	// and feedback re-solves); Schema is the store schema version.
 	StoreFingerprint string `json:"store_fingerprint"`
+	Epoch            string `json:"epoch"`
 	Schema           int    `json:"schema"`
 	// SeedEntries/LearnedEntries split Specs by provenance, as recorded
 	// in the store's metadata (0/0 for stores without provenance).
@@ -533,9 +546,22 @@ type HealthResponse struct {
 	Inflight       int64   `json:"inflight"`
 	UptimeS        float64 `json:"uptime_s"`
 	// CheckCache summarizes the check-result cache; absent when the
-	// cache is disabled. Pool reports scratch-pool traffic.
+	// cache is disabled. Pool reports scratch-pool traffic. Feedback
+	// summarizes the continuous-learning loop; absent without a session.
 	CheckCache *CheckCacheHealth `json:"check_cache,omitempty"`
 	Pool       PoolHealth        `json:"pool"`
+	Feedback   *FeedbackHealth   `json:"feedback,omitempty"`
+}
+
+// FeedbackHealth is the /v1/healthz view of the feedback loop: verdict
+// counts by direction, the number of (symbol, role) variables currently
+// pinned by operator verdicts, and how many incremental re-solves
+// feedback has triggered.
+type FeedbackHealth struct {
+	Accepted   int64 `json:"accepted"`
+	Rejected   int64 `json:"rejected"`
+	PinnedVars int   `json:"pinned_vars"`
+	Resolves   int64 `json:"resolves"`
 }
 
 // CheckCacheHealth is the /v1/healthz view of the check-result cache
@@ -566,6 +592,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:           "ok",
 		Specs:            st.spec.Len(),
 		StoreFingerprint: st.fingerprint,
+		Epoch:            st.epoch,
 		Schema:           specio.SchemaVersion,
 		SeedEntries:      st.meta.SeedEntries,
 		LearnedEntries:   st.meta.LearnedEntries,
@@ -584,6 +611,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Evictions: cs.Evictions,
 			HitRate:   cs.HitRate(),
 			Coalesced: s.coalesced.Load(),
+		}
+	}
+	if s.cfg.Session != nil {
+		resp.Feedback = &FeedbackHealth{
+			Accepted:   s.feedbackAccepted.Load(),
+			Rejected:   s.feedbackRejected.Load(),
+			PinnedVars: s.cfg.Session.Pins(),
+			Resolves:   s.feedbackResolves.Load(),
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)

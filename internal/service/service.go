@@ -12,6 +12,9 @@
 //	GET  /v1/healthz  liveness + store summary + active store fingerprint
 //	GET  /v1/readyz   readiness: 503 while draining or before the store loads
 //	POST /v1/reload   re-read the spec store and swap it in atomically
+//	POST /v1/feedback accept/reject a finding or (symbol, role); pins the
+//	                  variable, re-solves incrementally, publishes a new
+//	                  store generation (requires Config.Session)
 //
 // Request-scoped tracing: every /v1/check runs under a span tree
 // (admission → queue → parse → dataflow → taint → encode) with a trace
@@ -66,6 +69,7 @@ import (
 
 	"seldon/internal/checkcache"
 	"seldon/internal/core"
+	"seldon/internal/incr"
 	"seldon/internal/obs"
 	"seldon/internal/obs/trace"
 	"seldon/internal/spec"
@@ -136,6 +140,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// DrainTimeout bounds graceful shutdown; 0 selects 10s.
 	DrainTimeout time.Duration
+
+	// Session, when non-nil, is the incremental-learning session behind
+	// POST /v1/feedback: operator verdicts pin (symbol, role) variables
+	// as hard LP constraints, the session re-solves warm-started, and the
+	// re-learned store is published as a new generation. Without it the
+	// feedback endpoint answers 409. The server owns re-solve
+	// serialization; the caller must not Relearn concurrently.
+	Session *incr.Session
 
 	// CheckCacheEntries and CheckCacheBytes bound the check-result cache
 	// (entries resident / total encoded-response bytes). 0 selects the
@@ -243,6 +255,18 @@ type Server struct {
 	// evictionsPublished tracks how much of the cache's cumulative
 	// eviction count has been rolled into the obs counter.
 	evictionsPublished atomic.Int64
+
+	// Feedback loop state (all unused without Config.Session). findings
+	// maps finding IDs to the endpoint symbols a verdict pins, bounded
+	// FIFO by findingOrder; feedbackMu serializes pin→relearn→publish.
+	findingMu    sync.Mutex
+	findings     map[string]feedbackTarget
+	findingOrder []string
+	feedbackMu   sync.Mutex
+
+	feedbackAccepted atomic.Int64
+	feedbackRejected atomic.Int64
+	feedbackResolves atomic.Int64
 }
 
 // flight is one in-progress analysis that concurrent identical requests
@@ -278,6 +302,9 @@ func New(cfg Config) *Server {
 	if cfg.CheckCacheEntries >= 0 && cfg.CheckCacheBytes >= 0 {
 		s.cache = checkcache.New(cfg.CheckCacheEntries, cfg.CheckCacheBytes)
 		s.flights = make(map[checkcache.Key]*flight)
+	}
+	if cfg.Session != nil {
+		s.findings = make(map[string]feedbackTarget)
 	}
 	s.scratchPool.New = func() any {
 		s.poolNews.Add(1)
@@ -339,6 +366,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/healthz", s.route("healthz", s.handleHealthz))
 	mux.Handle("/v1/readyz", s.route("readyz", s.handleReadyz))
 	mux.Handle("/v1/reload", s.route("reload", s.handleReload))
+	mux.Handle("/v1/feedback", s.route("feedback", s.handleFeedback))
 	mux.Handle("/debug/traces", trace.Handler(s.cfg.Tracer))
 	return mux
 }
