@@ -2,7 +2,7 @@ GO ?= go
 
 # bench-json snapshot name; parameterized so each PR's snapshot
 # (BENCH_<pr>.json) doesn't overwrite the last.
-BENCH ?= BENCH_9.json
+BENCH ?= BENCH_10.json
 
 .PHONY: build test vet race verify bench bench-json serve loadsmoke load shardsmoke feedbacksmoke
 
@@ -50,7 +50,14 @@ loadsmoke:
 # them (seldon -shards-in), and require the resulting spec store to be
 # byte-identical (cmp) to a single-process run on the same corpus. A
 # second pass exercises the subprocess executor (-exec-shards) the same
-# way. Any drift in slicing, the codec, symbol translation, or the merge
+# way. A third pass exercises the full streaming stack — 3 workers over
+# stdout pipes with fpcache sidecars (-ship-cache), coordinator-side
+# sidecar ingest (-cache-dir), a persisted flow-constraint cache
+# (-flowcache), and an incremental constraint build — asserting via
+# benchjson -check-stream that the decoded peak stayed strictly below
+# the total artifact volume (the coordinator streamed, it didn't
+# buffer), and via cmp that the store still matches single-process.
+# Any drift in slicing, the codec, symbol translation, or the merge
 # fails loudly here before it can skew a real corpus.
 shardsmoke:
 	rm -rf .shardsmoke && mkdir -p .shardsmoke && \
@@ -66,6 +73,11 @@ shardsmoke:
 	./.shardsmoke/seldon -generate 60 -o .shardsmoke/gen_single.json >/dev/null && \
 	./.shardsmoke/seldon -generate 60 -exec-shards 3 -shard-bin ./.shardsmoke/seldon-shard -o .shardsmoke/exec.json >/dev/null 2>&1 && \
 	cmp .shardsmoke/gen_single.json .shardsmoke/exec.json && \
+	./.shardsmoke/seldon -generate 60 -exec-shards 3 -shard-bin ./.shardsmoke/seldon-shard \
+		-ship-cache -cache-dir .shardsmoke/fpc -flowcache .shardsmoke/flow.bin \
+		-metrics-json .shardsmoke/coord.json -o .shardsmoke/stream.json >/dev/null 2>&1 && \
+	$(GO) run ./cmd/benchjson -check-stream .shardsmoke/coord.json && \
+	cmp .shardsmoke/gen_single.json .shardsmoke/stream.json && \
 	echo "shardsmoke OK: coordinator stores byte-identical to single-process"; \
 	st=$$?; rm -rf .shardsmoke; exit $$st
 
@@ -112,7 +124,14 @@ bench:
 # full vs delta wall (the delta run re-analyzes one changed file out of
 # 240), span/constraint reuse, and warm vs cold solver epochs. The
 # invariant worth watching is delta_wall_s staying a small fraction of
-# full_wall_s — that ratio is the whole point of internal/incr.
+# full_wall_s — that ratio is the whole point of internal/incr. A
+# "distributed_stream" section then runs the same 2400-file fan-out
+# twice through the streaming coordinator with warmth shipping on
+# (-ship-cache sidecars into a shared fpcache, -flowcache persisted
+# between runs): the cold pass seeds both caches, the warm pass is the
+# snapshot — its flowcache_hit_rate must be nonzero and peak_bytes must
+# sit well below artifact_bytes (the coordinator held one slice, not
+# the corpus).
 bench-json:
 	rm -rf .benchcache && \
 	$(GO) run ./cmd/seldon -generate 240 -workers 4 -cache-dir .benchcache -o .benchspecs.json >/dev/null && \
@@ -142,8 +161,18 @@ bench-json:
 	$(GO) run ./cmd/seldon -dir .incrcorpus -seedfile .incrcorpus/seed.spec \
 		-metrics-json .incr_full.json >/dev/null && \
 	$(GO) run ./cmd/benchjson -incr-full .incr_full.json -incr-delta .incr_delta.json -into $(BENCH) && \
+	rm -rf .streamfpc .streamflow.bin && \
+	$(GO) run ./cmd/seldon -generate 2400 -exec-shards 4 -shard-bin ./.shardbin/seldon-shard \
+		-ship-cache -cache-dir .streamfpc -flowcache .streamflow.bin \
+		-metrics-json .stream_cold.json >/dev/null 2>&1 && \
+	$(GO) run ./cmd/seldon -generate 2400 -exec-shards 4 -shard-bin ./.shardbin/seldon-shard \
+		-ship-cache -cache-dir .streamfpc -flowcache .streamflow.bin \
+		-metrics-json .stream_warm.json >/dev/null 2>&1 && \
+	$(GO) run ./cmd/benchjson -stream-cold .stream_cold.json -stream-warm .stream_warm.json \
+		-shards 4 -into $(BENCH) && \
 	rm -rf .benchspecs.json .shardbin .dist_single.json .dist_shards.json \
-		.incrcorpus .incrsession .incr_full.json .incr_delta.json
+		.incrcorpus .incrsession .incr_full.json .incr_delta.json \
+		.streamfpc .streamflow.bin .stream_cold.json .stream_warm.json
 
 # serve learns a spec store (if absent) and boots the taint service on
 # :8647 — /v1/check, /v1/specs, /v1/healthz, /metrics, /debug/pprof/.

@@ -29,6 +29,20 @@
 // epochs:
 //
 //	benchjson -incr-full full.json -incr-delta delta.json -into BENCH.json
+//
+// A fourth mode captures the streaming coordinator: two -exec-shards
+// runs over the same corpus — cold (empty caches) and warm (fpcache
+// seeded by the cold run's shipped sidecars, flow cache persisted) —
+// merge as a "distributed_stream" section: walls, peak decoded bytes
+// against total artifact bytes (the streaming-memory headline), stream
+// volume, and the flow-cache hit rate on the warm path:
+//
+//	benchjson -stream-cold cold.json -stream-warm warm.json -shards 4 -into BENCH.json
+//
+// And a guard mode for CI smoke tests, exiting nonzero unless the
+// snapshot proves the coordinator streamed (0 < peak < total):
+//
+//	benchjson -check-stream coord.json
 package main
 
 import (
@@ -50,7 +64,16 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count of the -dist-shards run")
 	incrFull := flag.String("incr-full", "", "metrics snapshot of a from-scratch re-learn (selects incremental-section mode)")
 	incrDelta := flag.String("incr-delta", "", "metrics snapshot of a session (-session-dir) re-learn of the same corpus")
+	streamCold := flag.String("stream-cold", "", "metrics snapshot of a cold streaming coordinator run (selects distributed_stream mode)")
+	streamWarm := flag.String("stream-warm", "", "metrics snapshot of a warm (cache-seeded) streaming coordinator run")
+	checkStream := flag.String("check-stream", "", "coordinator metrics snapshot to assert streamed ingestion on (0 < peak < total); exits nonzero otherwise")
 	flag.Parse()
+	if *checkStream != "" {
+		if err := checkStreamed(*checkStream); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *into == "" {
 		fatal(fmt.Errorf("need -into <snapshot.json>"))
 	}
@@ -62,6 +85,12 @@ func main() {
 	}
 	if *incrFull != "" || *incrDelta != "" {
 		if err := mergeIncremental(*into, *incrFull, *incrDelta); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *streamCold != "" || *streamWarm != "" {
+		if err := mergeStream(*into, *streamCold, *streamWarm, *shards); err != nil {
 			fatal(err)
 		}
 		return
@@ -250,6 +279,102 @@ func mergeIncremental(into, fullPath, deltaPath string) error {
 		return err
 	}
 	fmt.Printf("merged incremental section (%.2fx delta speedup) into %s\n", fullWall/deltaWall, into)
+	return nil
+}
+
+// mergeStream builds the "distributed_stream" section from two
+// streaming-coordinator snapshots of the same corpus: a cold run and a
+// warm run whose fpcache was seeded by the cold run's shipped sidecars
+// (and whose flow-constraint cache was persisted between them). The
+// headline numbers are the warm/cold wall ratio, the peak decoded
+// footprint against the total artifact volume (streaming holds one
+// slice, not the corpus), and the flow-cache hit rate.
+func mergeStream(into, coldPath, warmPath string, shards int) error {
+	if coldPath == "" || warmPath == "" {
+		return fmt.Errorf("stream mode needs both -stream-cold and -stream-warm")
+	}
+	cold, err := readSnapshot(coldPath)
+	if err != nil {
+		return err
+	}
+	warm, err := readSnapshot(warmPath)
+	if err != nil {
+		return err
+	}
+	coldWall := cold.Gauges[obs.GaugePipelineWall]
+	warmWall := warm.Gauges[obs.GaugePipelineWall]
+	if coldWall <= 0 || warmWall <= 0 {
+		return fmt.Errorf("snapshots lack the %s gauge (need seldon runs with -metrics-json)", obs.GaugePipelineWall)
+	}
+	peak := warm.Gauges[obs.GaugeShardMergePeakBytes]
+	total := warm.Gauges[obs.GaugeShardBytes]
+	hits := warm.Counters[obs.CounterFlowCacheHits]
+	misses := warm.Counters[obs.CounterFlowCacheMisses]
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	sec := map[string]any{
+		"shards":             shards,
+		"cold_wall_s":        coldWall,
+		"warm_wall_s":        warmWall,
+		"warm_speedup":       coldWall / warmWall,
+		"exec_s":             warm.Timers[obs.StageShardExec].Sum,
+		"merge_s":            warm.Timers[obs.TimerShardMerge].Sum,
+		"stream_s":           warm.Timers[obs.StageShardStream].Sum,
+		"artifact_bytes":     total,
+		"peak_bytes":         peak,
+		"peak_fraction":      safeDiv(peak, total),
+		"stream_bytes":       warm.Counters[obs.CounterShardStreamBytes],
+		"flowcache_hits":     hits,
+		"flowcache_misses":   misses,
+		"flowcache_hit_rate": hitRate,
+	}
+
+	data, err := os.ReadFile(into)
+	if err != nil {
+		return err
+	}
+	doc := map[string]any{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", into, err)
+	}
+	doc["distributed_stream"] = sec
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(into, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged distributed_stream section (%d shards, %.2fx warm, peak %.0f%% of artifacts, %.0f%% flowcache hits) into %s\n",
+		shards, coldWall/warmWall, 100*safeDiv(peak, total), 100*hitRate, into)
+	return nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// checkStreamed asserts a coordinator snapshot proves pipelined
+// ingestion: the peak decoded footprint must be positive and strictly
+// below the total artifact volume. A whole-set buffering regression
+// makes peak == total; a missing gauge makes it 0. Either exits 1.
+func checkStreamed(path string) error {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return err
+	}
+	peak := snap.Gauges[obs.GaugeShardMergePeakBytes]
+	total := snap.Gauges[obs.GaugeShardBytes]
+	if peak <= 0 || total <= 0 || peak >= total {
+		return fmt.Errorf("%s: %s=%.0f vs %s=%.0f — coordinator did not stream (want 0 < peak < total)",
+			path, obs.GaugeShardMergePeakBytes, peak, obs.GaugeShardBytes, total)
+	}
+	fmt.Printf("streamed: peak %.0f bytes of %.0f total (%.0f%%)\n", peak, total, 100*peak/total)
 	return nil
 }
 

@@ -46,6 +46,7 @@ func main() {
 
 		cacheDir   = flag.String("cache-dir", "", "persistent per-file analysis cache directory (sharable between workers)")
 		cacheClear = flag.Bool("cache-clear", false, "empty -cache-dir before the run")
+		shipCache  = flag.Bool("ship-cache", false, "attach the fpcache sidecar (per-file cache key + cost) to the artifact, so the coordinator can seed its own cache")
 
 		verbose     = flag.Bool("v", false, "log stages to stderr")
 		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit")
@@ -90,6 +91,9 @@ func main() {
 	art, fe, err := shard.Build(files, *slice, *slices, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *shipCache {
+		art.AttachSidecar(files, fe)
 	}
 
 	t0 := time.Now()

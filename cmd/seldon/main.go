@@ -59,6 +59,7 @@ import (
 	"strings"
 	"time"
 
+	"seldon/internal/constraints"
 	"seldon/internal/core"
 	"seldon/internal/corpus"
 	"seldon/internal/fpcache"
@@ -86,6 +87,8 @@ func main() {
 		shardsIn   = flag.String("shards-in", "", "coordinate: glob of shard artifacts (from seldon-shard) to merge and learn from")
 		execShards = flag.Int("exec-shards", 0, "coordinate: spawn N local seldon-shard subprocesses over -dir/-generate and merge their artifacts")
 		shardBin   = flag.String("shard-bin", "seldon-shard", "seldon-shard binary for -exec-shards")
+		shipCache  = flag.Bool("ship-cache", false, "coordinate: have workers attach fpcache sidecars to their artifacts, ingested into -cache-dir")
+		flowCache  = flag.String("flowcache", "", "coordinate: persistent flow-constraint block cache file (loaded before the build, saved after; stale or corrupt files load as empty)")
 
 		cacheDir   = flag.String("cache-dir", "", "persistent per-file analysis cache directory (content-addressed; results are bitwise identical with or without it)")
 		cacheClear = flag.Bool("cache-clear", false, "empty -cache-dir before the run")
@@ -143,6 +146,12 @@ func main() {
 	if *sessionDir != "" && coordinating {
 		fatal(fmt.Errorf("-session-dir does not compose with shard coordination"))
 	}
+	if *flowCache != "" && !coordinating {
+		fatal(fmt.Errorf("-flowcache requires shard coordination (-shards-in or -exec-shards); -session-dir persists it on the incremental path"))
+	}
+	if *shipCache && *execShards <= 0 {
+		fatal(fmt.Errorf("-ship-cache requires -exec-shards (pre-produced -shards-in artifacts carry sidecars or not; -cache-dir ingests them either way)"))
+	}
 
 	// Every run is one trace: the pipeline stages become child spans so
 	// -v can print where the time went as a tree, mirroring what seldond
@@ -188,8 +197,17 @@ func main() {
 			fatal(err)
 		}
 		var mres *shard.MergeResult
-		res, mres, err = coordinate(*shardsIn, *execShards, *shardBin,
-			*dir, *generate, *workers, *cacheDir, seedSpec, cfg)
+		res, mres, err = coordinate(coordinateConfig{
+			Pattern:   *shardsIn,
+			ExecN:     *execShards,
+			Bin:       *shardBin,
+			Dir:       *dir,
+			Generate:  *generate,
+			Workers:   *workers,
+			CacheDir:  *cacheDir,
+			ShipCache: *shipCache,
+			FlowCache: *flowCache,
+		}, seedSpec, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -308,50 +326,85 @@ func main() {
 	}
 }
 
+// coordinateConfig bundles the coordinator's flag surface.
+type coordinateConfig struct {
+	Pattern  string // -shards-in glob (artifact files)
+	ExecN    int    // -exec-shards worker count
+	Bin      string // -shard-bin
+	Dir      string
+	Generate int
+	Workers  int
+	// CacheDir doubles as the workers' shared fpcache (-exec-shards) and
+	// the coordinator-side ingest target for artifact sidecars.
+	CacheDir  string
+	ShipCache bool   // ask workers to attach fpcache sidecars
+	FlowCache string // persisted flow-constraint block cache file
+}
+
 // coordinate gathers shard artifacts — from a glob of files or by
-// spawning a local seldon-shard fleet — validates and merges them, and
-// learns once over the global graph. The resulting Result is what a
-// single-process LearnFromSources over the concatenated corpus would
-// have produced, with shard gather/merge timings prepended to the stage
-// breakdown.
-func coordinate(pattern string, execN int, bin, dir string, generate, workers int,
-	cacheDir string, seedSpec *spec.Spec, cfg core.Config) (*core.Result, *shard.MergeResult, error) {
+// spawning a local seldon-shard fleet — and learns once over the global
+// graph. Ingestion is streaming and pipelined: each artifact is decoded
+// incrementally (never materialized whole) and folded into the union
+// the moment its slice-order turn comes, so decode overlaps worker
+// execution and peak coordinator memory is one artifact. The resulting
+// Result is what a single-process LearnFromSources over the
+// concatenated corpus would have produced, with shard gather/merge
+// timings prepended to the stage breakdown.
+func coordinate(cc coordinateConfig, seedSpec *spec.Spec, cfg core.Config) (*core.Result, *shard.MergeResult, error) {
+	var ingest *fpcache.Cache
+	if cc.CacheDir != "" {
+		c, err := fpcache.Open(cc.CacheDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		ingest = c
+	}
+	mopts := shard.MergeOptions{Metrics: cfg.Metrics, Log: cfg.Log}
+	ropts := shard.ReadOptions{Cache: ingest, Metrics: cfg.Metrics, Log: cfg.Log}
+
 	var (
-		arts       []*shard.Artifact
-		gatherName = obs.StageShardDecode
+		mres       *shard.MergeResult
+		gatherName = obs.StageShardStream
 	)
 	t0 := time.Now()
-	if pattern != "" {
-		paths, err := filepath.Glob(pattern)
+	if cc.Pattern != "" {
+		paths, err := filepath.Glob(cc.Pattern)
 		if err != nil {
 			return nil, nil, err
 		}
 		if len(paths) == 0 {
-			return nil, nil, fmt.Errorf("no shard artifacts match %q", pattern)
+			return nil, nil, fmt.Errorf("no shard artifacts match %q", cc.Pattern)
 		}
 		sort.Strings(paths)
 		gatherSpan := cfg.Span.StartChild(gatherName)
+		m := shard.NewMerger(mopts)
 		for _, p := range paths {
-			t := time.Now()
-			a, err := shard.ReadFile(p)
+			a, err := shard.ReadFile(p, ropts)
 			if err != nil {
 				return nil, nil, err
 			}
-			cfg.Metrics.ObserveDuration(obs.StageShardDecode, time.Since(t))
 			cfg.Log.Log("shard.read", "path", p, "slice", a.Slice, "of", a.Slices,
 				"bytes", a.Size)
-			arts = append(arts, a)
+			if err := m.Commit(a); err != nil {
+				return nil, nil, err
+			}
 		}
+		mres, err = m.Finish()
 		gatherSpan.End()
+		if err != nil {
+			return nil, nil, err
+		}
 	} else {
 		gatherName = obs.StageShardExec
 		gatherSpan := cfg.Span.StartChild(gatherName)
 		var err error
-		arts, err = shard.ExecLocal(shard.ExecConfig{
-			Bin: bin, Slices: execN,
-			Dir: dir, Generate: generate,
-			Workers: workers, CacheDir: cacheDir,
-		})
+		mres, err = shard.ExecMerge(shard.ExecConfig{
+			Bin: cc.Bin, Slices: cc.ExecN,
+			Dir: cc.Dir, Generate: cc.Generate,
+			Workers: cc.Workers, CacheDir: cc.CacheDir,
+			ShipCache: cc.ShipCache, Ingest: ingest,
+			Metrics: cfg.Metrics,
+		}, mopts)
 		gatherSpan.End()
 		if err != nil {
 			return nil, nil, err
@@ -360,14 +413,10 @@ func coordinate(pattern string, execN int, bin, dir string, generate, workers in
 	}
 	gatherWall := time.Since(t0)
 
-	mergeSpan := cfg.Span.StartChild(obs.TimerShardMerge)
-	mres, err := shard.Merge(arts, shard.MergeOptions{Metrics: cfg.Metrics, Log: cfg.Log})
-	mergeSpan.End()
+	res, err := coordinatedLearn(cc.FlowCache, mres, seedSpec, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	res := core.Learn(mres.Graph, seedSpec, cfg)
 	res.Stages = append([]core.StageTiming{
 		{Name: gatherName, Duration: gatherWall},
 		{Name: obs.TimerShardMerge, Duration: mres.MergeWall},
@@ -375,6 +424,45 @@ func coordinate(pattern string, execN int, bin, dir string, generate, workers in
 	res.ParseErrors = mres.ParseErrors
 	res.ParseErrorFiles = mres.ParseErrorFiles
 	return res, mres, nil
+}
+
+// coordinatedLearn runs inference over the merged graph. With a
+// -flowcache file it loads the persisted flow-constraint blocks, builds
+// the system incrementally against the merge's file spans (byte-
+// identical to the full build — reuse is fingerprint-gated), saves the
+// refreshed cache back, and hands the prepared system to the solver;
+// without one it is core.Learn.
+func coordinatedLearn(flowPath string, mres *shard.MergeResult, seedSpec *spec.Spec, cfg core.Config) (*core.Result, error) {
+	if flowPath == "" || mres.Spans == nil {
+		return core.Learn(mres.Graph, seedSpec, cfg), nil
+	}
+	copts := cfg.Constraints
+	copts.Metrics = cfg.Metrics
+	if copts.Workers == 0 {
+		copts.Workers = cfg.Workers
+	}
+	fc, warm := constraints.LoadFlowCache(flowPath, copts)
+
+	sp := cfg.Span.StartChild(obs.StageConstraints)
+	tb := time.Now()
+	sys, st := constraints.BuildIncremental(mres.Graph, seedSpec, copts, mres.Spans, fc)
+	buildWall := time.Since(tb)
+	sp.End()
+	cfg.Metrics.ObserveDuration(obs.StageConstraints, buildWall)
+	cfg.Log.Log(obs.StageConstraints, "dur", buildWall.Round(time.Microsecond),
+		"flowcache", flowPath, "warm", warm,
+		"spans", st.Spans, "reused", st.SpansReused, "rebuilt", st.SpansRebuilt)
+
+	res := core.LearnPrepared(mres.Graph, sys, cfg)
+	res.Stages = append([]core.StageTiming{
+		{Name: obs.StageConstraints, Duration: buildWall},
+	}, res.Stages...)
+	if err := fc.Save(flowPath, copts); err != nil {
+		// The run's result is already in hand; a failed save only costs
+		// the next run its warm start.
+		fmt.Fprintln(os.Stderr, "seldon: flowcache save:", err)
+	}
+	return res, nil
 }
 
 // coordinatorSeed resolves the seed specification for a coordinator

@@ -157,6 +157,17 @@ func BuildIncremental(g *propgraph.Graph, seed *spec.Spec, opts Options,
 	s.finishMetrics(workers)
 	m.Set(obs.GaugeIncrSpansReused, float64(st.SpansReused))
 	m.Set(obs.GaugeIncrConstraintsReused, float64(st.ConstraintsReused))
+	if cache != nil {
+		// flowcache.{hits,misses} count per-span block reuse whenever a
+		// cache is in play; a fallback build consulted the cache for
+		// nothing, so every presented span is a miss.
+		m.Add(obs.CounterFlowCacheHits, int64(st.SpansReused))
+		if st.FellBack {
+			m.Add(obs.CounterFlowCacheMisses, int64(len(spans)))
+		} else {
+			m.Add(obs.CounterFlowCacheMisses, int64(st.SpansRebuilt))
+		}
+	}
 	return s, st
 }
 

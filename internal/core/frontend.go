@@ -30,6 +30,11 @@ type FrontEnd struct {
 	// with it.
 	Names  []string
 	Graphs []*propgraph.Graph
+	// Costs is each file's parse+dataflow cost, aligned with Names. For
+	// a cache hit it is the cost recorded when the entry was produced —
+	// the number a shard sidecar ships so downstream caches inherit
+	// truthful accounting rather than the near-zero hit time.
+	Costs []time.Duration
 	// ParseErrorFiles names the files whose parse reported an error, in
 	// sorted order; ParseErrs is aligned with it. Analysis still ran over
 	// the recovered ASTs.
@@ -211,9 +216,13 @@ func AnalyzeFiles(files map[string]string, cfg Config) *FrontEnd {
 	fe.Wall = time.Since(t0)
 
 	fe.Graphs = make([]*propgraph.Graph, len(names))
+	fe.Costs = make([]time.Duration, len(names))
 	for i := range outcomes {
 		o := &outcomes[i]
 		fe.Graphs[i] = o.graph
+		// Exactly one of (saved) and (parse+analyze) is nonzero: the
+		// recorded cost for a hit, the measured cost for a miss.
+		fe.Costs[i] = o.saved + o.parse + o.analyze
 		fe.ParseTotal += o.parse
 		fe.AnalyzeTotal += o.analyze
 		if o.hit {

@@ -103,9 +103,10 @@ func Open(dir string) (*Cache, error) {
 // Dir returns the cache directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// Key derives the content address of a (path, content) pair under the
-// current AnalyzerVersion.
-func Key(name, content string) string {
+// KeyBytes derives the content address of a (path, content) pair under
+// the current AnalyzerVersion, in raw form — what shard sidecars ship on
+// the wire (32 bytes instead of 64 hex digits).
+func KeyBytes(name, content string) (out [sha256.Size]byte) {
 	h := sha256.New()
 	var lenBuf [8]byte
 	part := func(s string) {
@@ -116,7 +117,14 @@ func Key(name, content string) string {
 	part(AnalyzerVersion)
 	part(name)
 	part(content)
-	return hex.EncodeToString(h.Sum(nil))
+	h.Sum(out[:0])
+	return out
+}
+
+// Key is KeyBytes in the hex form entries are named by on disk.
+func Key(name, content string) string {
+	k := KeyBytes(name, content)
+	return hex.EncodeToString(k[:])
 }
 
 func (c *Cache) entryPath(key string) string {
@@ -134,6 +142,51 @@ func (e *Entry) encode() []byte {
 	buf = e.Graph.AppendBinary(buf)
 	sum := sha256.Sum256(buf)
 	return append(buf, sum[:]...)
+}
+
+// EncodeRawEntry renders an entry in the on-disk format from an
+// already-encoded graph (propgraph binary bytes) instead of a live
+// Graph. It exists for shard-sidecar ingestion, where the coordinator
+// holds the worker's verified graph section bytes and re-encoding a
+// decoded graph would only burn CPU to produce the identical bytes (the
+// codec is deterministic).
+func EncodeRawEntry(graphEnc []byte, parseErr string, cost time.Duration) []byte {
+	buf := make([]byte, 0, len(magic)+2+16+len(parseErr)+len(graphEnc)+checksumSize)
+	buf = append(buf, magic...)
+	buf = binary.AppendUvarint(buf, codecVersion)
+	buf = binary.AppendVarint(buf, int64(cost))
+	buf = binary.AppendUvarint(buf, uint64(len(parseErr)))
+	buf = append(buf, parseErr...)
+	buf = append(buf, graphEnc...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// PutRawKey stores pre-encoded entry bytes (EncodeRawEntry) under a raw
+// key (KeyBytes), atomically like Put. The caller vouches that data is a
+// well-formed entry for that key; a wrong claim costs nothing but a
+// wasted slot — Get re-validates the checksum and codec on read and
+// treats a bad entry as a miss.
+func (c *Cache) PutRawKey(key [sha256.Size]byte, data []byte) (int64, error) {
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		return 0, fmt.Errorf("fpcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("fpcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("fpcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.entryPath(hex.EncodeToString(key[:]))); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("fpcache: %w", err)
+	}
+	c.bytesWritten.Add(int64(len(data)))
+	return int64(len(data)), nil
 }
 
 // decodeEntry parses and validates an on-disk entry.

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"seldon/internal/constraints"
 	"seldon/internal/core"
 	"seldon/internal/fpcache"
 	"seldon/internal/propgraph"
@@ -27,16 +28,22 @@ import (
 // any corruption, version skew, or analyzer-version skew surfaces as an
 // error so the caller falls back to a cold session.
 //
-// The flow-constraint cache is deliberately NOT persisted — it is a
-// derived structure the first Relearn repopulates, and persisting it
-// would double the file for no asymptotic win (the rebuild it avoids is
-// one full flow pass, which a resumed session pays exactly once).
+// The flow-constraint cache is persisted beside the state as its own
+// checksummed file (constraints.FlowCache Save/Load), so a resumed
+// session's first Relearn reuses the flow blocks of unchanged files
+// instead of paying one full flow pass. It is kept out of state.bin
+// because its failure mode is different: a missing, stale, or corrupt
+// flow cache is a silent empty cache (the blocks are fingerprint-gated
+// derived data), never the cold-session fallback a state.bin problem
+// forces.
 
 const (
 	stateMagic   = "SINC"
 	stateVersion = 1
 	// StateFile is the session state file name inside a session directory.
 	StateFile = "state.bin"
+	// FlowCacheFile is the persisted flow-constraint cache beside it.
+	FlowCacheFile = "flowcache.bin"
 )
 
 // sessionKnobs are the learning parameters a persisted session is bound
@@ -244,19 +251,34 @@ func Load(path string, seed *spec.Spec, cfg core.Config) (*Session, error) {
 	return s, nil
 }
 
-// LoadDir restores the session persisted in dir (via SaveDir); it is
-// Load on dir/state.bin.
+// LoadDir restores the session persisted in dir (via SaveDir): Load on
+// dir/state.bin, plus the persisted flow-constraint cache
+// (dir/flowcache.bin) when one is present and matches this session's
+// analyzer version and knobs — a missing or skewed flow cache is simply
+// empty, never an error.
 func LoadDir(dir string, seed *spec.Spec, cfg core.Config) (*Session, error) {
-	return Load(filepath.Join(dir, StateFile), seed, cfg)
+	s, err := Load(filepath.Join(dir, StateFile), seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fc, ok := constraints.LoadFlowCache(filepath.Join(dir, FlowCacheFile), s.cfg.Constraints); ok {
+		s.cache = fc
+	}
+	return s, nil
 }
 
 // SaveDir persists the session into dir (created if missing) as
-// dir/state.bin.
+// dir/state.bin plus dir/flowcache.bin. A failed flow-cache write is
+// reported but the state itself is already safe — the next LoadDir just
+// starts with an empty flow cache.
 func (s *Session) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return s.Save(filepath.Join(dir, StateFile))
+	if err := s.Save(filepath.Join(dir, StateFile)); err != nil {
+		return err
+	}
+	return s.cache.Save(filepath.Join(dir, FlowCacheFile), s.cfg.Constraints)
 }
 
 func sortedKeys(m map[PinKey]float64) []PinKey {

@@ -101,7 +101,11 @@ const (
 	// corpus and the artifact bytes ingested.
 	StageShardAnalyze = "stage.shard.analyze"
 	StageShardEncode  = "stage.shard.encode"
-	StageShardDecode  = "stage.shard.decode"
+	// StageShardDecode timed the whole-buffer artifact decode; the
+	// streaming ingestion path observes StageShardStream instead (one
+	// sample per artifact streamed through shard.NewReader).
+	StageShardDecode = "stage.shard.decode"
+	StageShardStream = "stage.shard.stream"
 	// StageShardExec is the coordinator's whole local fan-out: spawn N
 	// seldon-shard subprocesses, wait, decode their artifacts.
 	StageShardExec  = "stage.shard.exec"
@@ -111,6 +115,19 @@ const (
 	// GaugeShardSlices is the shard count a coordinator merged (or the
 	// slice count a worker was partitioned under).
 	GaugeShardSlices = "shard.slices"
+	// CounterShardStreamBytes totals bytes ingested through the
+	// streaming artifact decoder; GaugeShardMergePeakBytes is the peak
+	// encoded-artifact residency of the commit-queue merge (decoded but
+	// not yet folded into the union) — the number that stays near one
+	// slice on the streaming path where the barrier path held all N.
+	CounterShardStreamBytes  = "shard.stream.bytes"
+	GaugeShardMergePeakBytes = "shard.merge.peak_bytes"
+
+	// The persistent flow-constraint block cache
+	// (constraints.FlowCache): spans whose cached block was reused vs
+	// rebuilt on delta-aware constraint builds.
+	CounterFlowCacheHits   = "flowcache.hits"
+	CounterFlowCacheMisses = "flowcache.misses"
 
 	// Incremental learning (internal/incr). The stage.incr.* timers
 	// decompose one session operation: retract/splice are the delta

@@ -37,12 +37,21 @@ func Build(files map[string]string, i, n int, cfg core.Config) (*Artifact, *core
 		perr[name] = fe.ParseErrs[j].Error()
 	}
 	metas := make([]FileMeta, len(fe.Names))
+	hashes := make([][32]byte, len(fe.Names))
+	events := make([]int, len(fe.Names))
+	var encBuf []byte
 	for j, name := range fe.Names {
 		metas[j] = FileMeta{
 			Name:       name,
 			SHA256:     sha256.Sum256([]byte(files[name])),
 			ParseError: perr[name],
 		}
+		// The span hash is over the file graph's binary encoding — the
+		// same bytes the artifact ships as this file's graph section, so
+		// a streaming coordinator recomputes the identical hash.
+		encBuf = fe.Graphs[j].AppendBinary(encBuf[:0])
+		hashes[j] = sha256.Sum256(encBuf)
+		events[j] = len(fe.Graphs[j].Events)
 	}
 	a := &Artifact{
 		AnalyzerVersion: fpcache.AnalyzerVersion,
@@ -50,12 +59,36 @@ func Build(files map[string]string, i, n int, cfg core.Config) (*Artifact, *core
 		Slices:          n,
 		Files:           metas,
 		Graph:           g,
+		FileGraphs:      fe.Graphs,
+		FileHashes:      hashes,
+		FileEvents:      events,
 	}
 	cfg.Metrics.Set(obs.GaugeShardFiles, float64(len(metas)))
 	cfg.Metrics.Set(obs.GaugeShardSlices, float64(n))
 	cfg.Log.Log("shard.build", "slice", i, "of", n, "files", len(metas),
 		"events", len(g.Events))
 	return a, fe, nil
+}
+
+// AttachSidecar equips the artifact with the fpcache sidecar: each
+// file's content-addressed cache key (fpcache.KeyBytes over the same
+// corpus content Build analyzed) and its recorded analysis cost from
+// the front-end. A coordinator ingesting the artifact can then seed its
+// own fpcache with the worker's results — shipping the warmth with the
+// graph instead of re-analyzing to recreate it.
+func (a *Artifact) AttachSidecar(files map[string]string, fe *core.FrontEnd) {
+	keys := make([][32]byte, len(a.Files))
+	costs := make([]time.Duration, len(a.Files))
+	for j := range a.Files {
+		name := a.Files[j].Name
+		keys[j] = fpcache.KeyBytes(name, files[name])
+		if j < len(fe.Costs) {
+			costs[j] = fe.Costs[j]
+		}
+	}
+	a.SidecarKeys = keys
+	a.SidecarCosts = costs
+	a.Sidecar = true
 }
 
 // BuildFromCorpus slices the full corpus by sorted file name

@@ -1,22 +1,26 @@
 package shard
 
 import (
-	"bytes"
+	"bufio"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"strconv"
 	"sync"
+
+	"seldon/internal/fpcache"
+	"seldon/internal/obs"
 )
 
 // The local-process executor: the smallest real deployment of the
 // worker/coordinator split. Each slice is analyzed by a seldon-shard
-// subprocess writing its artifact to a stdout pipe, so the whole
-// distributed flow — worker binary, wire format, coordinator ingestion —
-// is exercised end to end on one box (and in CI) with no scheduler or
-// network. A production deployment replaces this fan-out with remote
-// workers shipping the same artifacts.
+// subprocess writing its artifact to a stdout pipe, and the coordinator
+// streams the artifacts off those pipes through the incremental decoder
+// — so the whole distributed flow (worker binary, wire format, pipelined
+// ingestion) is exercised end to end on one box (and in CI) with no
+// scheduler or network. A production deployment replaces this fan-out
+// with remote workers shipping the same artifacts.
 
 // ExecConfig configures a local fan-out.
 type ExecConfig struct {
@@ -34,62 +38,125 @@ type ExecConfig struct {
 	// CacheDir, when set, is a shared fpcache directory passed to every
 	// worker (fpcache writes are atomic, so concurrent workers are safe).
 	CacheDir string
+	// ShipCache asks each worker to attach the fpcache sidecar to its
+	// artifact (-ship-cache); Ingest, when non-nil, is the coordinator's
+	// fpcache the shipped entries are written into.
+	ShipCache bool
+	Ingest    *fpcache.Cache
+	// Metrics, when non-nil, receives the streaming-decode observations
+	// (stage.shard.stream, shard.stream.bytes).
+	Metrics *obs.Registry
 	// Stderr receives the workers' stderr (nil = the parent's stderr).
 	Stderr io.Writer
 }
 
-// ExecLocal runs one seldon-shard subprocess per slice concurrently,
-// decodes each artifact off its stdout pipe, and returns them in slice
-// order. A worker that exits nonzero, or emits an undecodable artifact,
-// fails the whole fan-out with an error naming the slice.
-func ExecLocal(cfg ExecConfig) ([]*Artifact, error) {
-	if cfg.Slices < 1 {
-		return nil, fmt.Errorf("shard: exec: need at least 1 slice, got %d", cfg.Slices)
-	}
+// workerProc is one spawned slice worker and the read end of its
+// artifact pipe.
+type workerProc struct {
+	idx int
+	cmd *exec.Cmd
+	out io.ReadCloser
+}
+
+// startWorkers spawns every slice worker with its stdout piped back. On
+// a spawn failure the already-started workers are killed and reaped.
+func startWorkers(cfg ExecConfig) ([]workerProc, error) {
 	stderr := cfg.Stderr
 	if stderr == nil {
 		stderr = os.Stderr
 	}
+	procs := make([]workerProc, 0, cfg.Slices)
+	for i := 0; i < cfg.Slices; i++ {
+		args := []string{
+			"-slices", strconv.Itoa(cfg.Slices),
+			"-slice", strconv.Itoa(i),
+			"-o", "-",
+		}
+		switch {
+		case cfg.Dir != "":
+			args = append(args, "-dir", cfg.Dir)
+		case cfg.Generate > 0:
+			args = append(args, "-generate", strconv.Itoa(cfg.Generate))
+		}
+		if cfg.Workers > 0 {
+			args = append(args, "-workers", strconv.Itoa(cfg.Workers))
+		}
+		if cfg.CacheDir != "" {
+			args = append(args, "-cache-dir", cfg.CacheDir)
+		}
+		if cfg.ShipCache {
+			args = append(args, "-ship-cache")
+		}
+		cmd := exec.Command(cfg.Bin, args...)
+		cmd.Stderr = stderr
+		out, err := cmd.StdoutPipe()
+		if err == nil {
+			err = cmd.Start()
+		}
+		if err != nil {
+			for _, p := range procs {
+				p.cmd.Process.Kill()
+				p.out.Close()
+				p.cmd.Wait()
+			}
+			return nil, fmt.Errorf("shard: exec: slice %d/%d (%s): %w", i, cfg.Slices, cfg.Bin, err)
+		}
+		procs = append(procs, workerProc{idx: i, cmd: cmd, out: out})
+	}
+	return procs, nil
+}
+
+// finish closes the worker's pipe (unblocking it with EPIPE if it is
+// still writing) and reaps it, reporting a nonzero exit.
+func (p *workerProc) finish(bin string, slices int) error {
+	p.out.Close()
+	if err := p.cmd.Wait(); err != nil {
+		return fmt.Errorf("shard: exec: slice %d/%d (%s): %w", p.idx, slices, bin, err)
+	}
+	return nil
+}
+
+// ExecLocal runs one seldon-shard subprocess per slice concurrently,
+// streams each artifact off its stdout pipe through the incremental
+// decoder (decode overlaps worker execution — no worker's output is
+// ever buffered whole), and returns the artifacts in slice order.
+//
+// Failure reporting names the slice and preserves the decoder's
+// sentinel: a worker dying mid-write surfaces as slice i's ErrTruncated
+// (the pipe ends inside the payload), never as a generic decode error —
+// and never as a hang, because every pipe is closed and every worker
+// reaped on the way out.
+func ExecLocal(cfg ExecConfig) ([]*Artifact, error) {
+	if cfg.Slices < 1 {
+		return nil, fmt.Errorf("shard: exec: need at least 1 slice, got %d", cfg.Slices)
+	}
+	procs, err := startWorkers(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ropts := ReadOptions{Cache: cfg.Ingest, Metrics: cfg.Metrics}
 	arts := make([]*Artifact, cfg.Slices)
 	errs := make([]error, cfg.Slices)
 	var wg sync.WaitGroup
-	for i := 0; i < cfg.Slices; i++ {
+	for i := range procs {
 		wg.Add(1)
-		go func(i int) {
+		go func(p *workerProc) {
 			defer wg.Done()
-			args := []string{
-				"-slices", strconv.Itoa(cfg.Slices),
-				"-slice", strconv.Itoa(i),
-				"-o", "-",
-			}
+			a, err := ReadArtifact(bufio.NewReaderSize(p.out, 64<<10), ropts)
+			// Reap unconditionally: a decode error must still close the
+			// pipe (EPIPE unblocks a still-writing worker) and Wait.
+			werr := p.finish(cfg.Bin, cfg.Slices)
 			switch {
-			case cfg.Dir != "":
-				args = append(args, "-dir", cfg.Dir)
-			case cfg.Generate > 0:
-				args = append(args, "-generate", strconv.Itoa(cfg.Generate))
+			case err != nil:
+				// The decode sentinel carries the diagnosis (a dead worker
+				// is a truncated stream); the exit status is secondary.
+				errs[p.idx] = fmt.Errorf("shard: exec: slice %d/%d: %w", p.idx, cfg.Slices, err)
+			case werr != nil:
+				errs[p.idx] = werr
+			default:
+				arts[p.idx] = a
 			}
-			if cfg.Workers > 0 {
-				args = append(args, "-workers", strconv.Itoa(cfg.Workers))
-			}
-			if cfg.CacheDir != "" {
-				args = append(args, "-cache-dir", cfg.CacheDir)
-			}
-			cmd := exec.Command(cfg.Bin, args...)
-			var out bytes.Buffer
-			cmd.Stdout = &out
-			cmd.Stderr = stderr
-			if err := cmd.Run(); err != nil {
-				errs[i] = fmt.Errorf("shard: exec: slice %d/%d (%s): %w",
-					i, cfg.Slices, cfg.Bin, err)
-				return
-			}
-			a, err := Decode(out.Bytes())
-			if err != nil {
-				errs[i] = fmt.Errorf("shard: exec: slice %d/%d: %w", i, cfg.Slices, err)
-				return
-			}
-			arts[i] = a
-		}(i)
+		}(&procs[i])
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -98,4 +165,47 @@ func ExecLocal(cfg ExecConfig) ([]*Artifact, error) {
 		}
 	}
 	return arts, nil
+}
+
+// ExecMerge is the pipelined fan-out: workers run concurrently, and the
+// coordinator streams artifacts off the pipes in slice order, folding
+// each one into the merge as its checksum settles — slice i is decoded
+// and merged while workers i+1..n are still analyzing, and the decoded
+// artifacts are released as they fold, so peak coordinator memory is
+// one artifact, not the corpus. (A finished out-of-turn worker parks
+// cheaply on pipe backpressure: its analysis is done and its encoded
+// bytes sit in the pipe buffer until the coordinator's turn-taking
+// reaches it.)
+func ExecMerge(cfg ExecConfig, mopts MergeOptions) (*MergeResult, error) {
+	if cfg.Slices < 1 {
+		return nil, fmt.Errorf("shard: exec: need at least 1 slice, got %d", cfg.Slices)
+	}
+	procs, err := startWorkers(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ropts := ReadOptions{Cache: cfg.Ingest, Metrics: cfg.Metrics}
+	m := NewMerger(mopts)
+	fail := func(i int, err error) error {
+		// Close every unread pipe (EPIPE stops still-running workers)
+		// and reap everything before reporting — no orphans, no hang.
+		for j := i; j < len(procs); j++ {
+			procs[j].finish(cfg.Bin, cfg.Slices)
+		}
+		return err
+	}
+	for i := range procs {
+		p := &procs[i]
+		a, err := ReadArtifact(bufio.NewReaderSize(p.out, 64<<10), ropts)
+		if err != nil {
+			return nil, fail(i, fmt.Errorf("shard: exec: slice %d/%d: %w", p.idx, cfg.Slices, err))
+		}
+		if err := p.finish(cfg.Bin, cfg.Slices); err != nil {
+			return nil, fail(i+1, err)
+		}
+		if err := m.Commit(a); err != nil {
+			return nil, fail(i+1, err)
+		}
+	}
+	return m.Finish()
 }

@@ -2,11 +2,15 @@ package shard
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"seldon/internal/core"
 	"seldon/internal/corpus"
@@ -96,5 +100,102 @@ func TestExecLocalWorkerFailure(t *testing.T) {
 func TestExecLocalRejectsZeroSlices(t *testing.T) {
 	if _, err := ExecLocal(ExecConfig{Bin: "true", Slices: 0}); err == nil {
 		t.Fatal("ExecLocal accepted 0 slices")
+	}
+}
+
+// TestExecMerge runs the pipelined fan-out end to end: 3 subprocesses
+// streaming into the commit queue, with the result byte-identical to
+// the in-process union and peak decoded footprint below the whole-set
+// total (the point of streaming).
+func TestExecMerge(t *testing.T) {
+	bin := buildWorkerBin(t)
+	const nFiles, nSlices = 40, 3
+
+	res, err := ExecMerge(ExecConfig{
+		Bin: bin, Slices: nSlices, Generate: nFiles,
+		Workers: 1, Stderr: io.Discard,
+	}, MergeOptions{})
+	if err != nil {
+		t.Fatalf("ExecMerge: %v", err)
+	}
+	files := corpus.Generate(corpus.Config{Files: nFiles}).FileMap()
+	fe := core.AnalyzeFiles(files, core.Config{Workers: 1})
+	want := propgraph.Union(fe.Graphs...)
+	if !bytes.Equal(res.Graph.AppendBinary(nil), want.AppendBinary(nil)) {
+		t.Error("pipelined-merge graph differs from in-process union")
+	}
+	if len(res.Spans) != nFiles {
+		t.Errorf("merge produced %d spans, want %d", len(res.Spans), nFiles)
+	}
+	if res.PeakBytes <= 0 || res.PeakBytes >= res.Bytes {
+		t.Errorf("PeakBytes = %d, want within (0, %d): in-order streaming must not hold the whole set",
+			res.PeakBytes, res.Bytes)
+	}
+}
+
+// truncatingWorker writes a fake worker script that emits the first n
+// bytes of a real artifact and then dies — a worker crashing mid-write.
+func truncatingWorker(t *testing.T, n int) string {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("sh script worker")
+	}
+	dir := t.TempDir()
+	art := filepath.Join(dir, "good.shard")
+	data := buildSlice(t, testFiles(t, 12), 0, 2).Encode()
+	if n >= len(data) {
+		t.Fatalf("truncation point %d beyond artifact (%d bytes)", n, len(data))
+	}
+	if err := os.WriteFile(art, data[:n], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "worker.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\ncat "+art+"\nexit 1\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return script
+}
+
+// TestExecLocalPipeDeath: a worker dying mid-stream must surface as its
+// slice's streaming sentinel (ErrTruncated — the pipe ended inside the
+// payload), with the slice index in the message, and must never hang.
+func TestExecLocalPipeDeath(t *testing.T) {
+	bin := truncatingWorker(t, 100)
+	_, err := ExecLocal(ExecConfig{Bin: bin, Slices: 2, Stderr: io.Discard})
+	if err == nil {
+		t.Fatal("ExecLocal succeeded with a mid-stream worker death")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("ExecLocal error = %v, want ErrTruncated", err)
+	}
+	if !strings.Contains(err.Error(), "slice 0/2") {
+		t.Errorf("ExecLocal error %q does not name the failed slice", err)
+	}
+}
+
+// TestExecMergePipeDeath: the same death through the pipelined merge
+// path — the commit queue must report the sentinel promptly, not wait
+// for slices that will never complete.
+func TestExecMergePipeDeath(t *testing.T) {
+	bin := truncatingWorker(t, 100)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ExecMerge(ExecConfig{Bin: bin, Slices: 2, Stderr: io.Discard}, MergeOptions{})
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ExecMerge hung on a dead worker")
+	}
+	if err == nil {
+		t.Fatal("ExecMerge succeeded with a mid-stream worker death")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("ExecMerge error = %v, want ErrTruncated", err)
+	}
+	if !strings.Contains(err.Error(), "slice 0/2") {
+		t.Errorf("ExecMerge error %q does not name the failed slice", err)
 	}
 }

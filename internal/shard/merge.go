@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"seldon/internal/constraints"
 	"seldon/internal/fpcache"
 	"seldon/internal/obs"
 	"seldon/internal/propgraph"
@@ -16,11 +17,22 @@ import (
 // built. Validation is strict and every failure is a named error —
 // learning from a corpus with a hole in it would silently skew the
 // frequencies the whole inference rests on.
+//
+// The Merger is the streaming form: artifacts are committed one at a
+// time, in any arrival order, and each contiguous prefix of slices is
+// folded into the running union the moment it completes — slice i's
+// graph is released before slice i+1's artifact need even exist. The
+// union still replays slice-index order through the same first-seen
+// symbol translation (propgraph.UnionBuilder ≡ propgraph.Union), so the
+// result is byte-identical to the barrier merge at any shard count and
+// any arrival order; out-of-order arrivals are parked and the peak
+// parked+folding footprint is reported (shard.merge.peak_bytes).
 
 // MergeOptions configures telemetry for a merge.
 type MergeOptions struct {
 	// Metrics, when non-nil, receives the shard.merge timer and the
-	// shard.files / shard.bytes / shard.slices gauges.
+	// shard.files / shard.bytes / shard.slices / shard.merge.peak_bytes
+	// gauges.
 	Metrics *obs.Registry
 	// Log, when non-nil, receives one line per merged shard.
 	Log *obs.Logger
@@ -43,6 +55,11 @@ type MergeResult struct {
 	// CorpusFingerprint is specio.FingerprintHashes over Files/Hashes —
 	// equal to specio.Fingerprint of the original corpus map.
 	CorpusFingerprint string
+	// Spans maps each corpus file to its contiguous event range in
+	// Graph, in order — ready for constraints.BuildIncremental against a
+	// persisted flow cache. Nil when any artifact lacked per-file graph
+	// facts (an in-process artifact built before encoding).
+	Spans []constraints.Span
 	// ParseErrorFiles names the files whose parse reported an error, in
 	// order; ParseErrors is its length.
 	ParseErrorFiles []string
@@ -51,77 +68,183 @@ type MergeResult struct {
 	// in-process); MergeWall is the time spent in validation + union.
 	Bytes     int64
 	MergeWall time.Duration
+	// PeakBytes is the largest encoded-artifact footprint the merge held
+	// at once (parked out-of-order slices plus the slice being folded).
+	// With in-order arrival it is the largest single artifact — the
+	// streaming coordinator never holds the whole corpus encoded.
+	PeakBytes int64
+}
+
+// Merger folds shard artifacts into the global graph incrementally.
+// Commit artifacts in any order, then Finish. Not safe for concurrent
+// use; the coordinator's ingest loop serializes commits.
+type Merger struct {
+	opts MergeOptions
+
+	// count is the slice count learned from the first commit (-1 until
+	// then); next is the lowest slice index not yet folded.
+	count int
+	next  int
+	// pending parks artifacts that arrived ahead of their turn.
+	pending map[int]*Artifact
+
+	ub      *propgraph.UnionBuilder
+	res     *MergeResult
+	prev    string
+	hasPrev bool
+	// spansOK stays true while every folded artifact carries per-file
+	// graph facts; one without them disables span assembly for the run.
+	spansOK bool
+
+	resident, peak int64
+	wall           time.Duration
+}
+
+// NewMerger returns an empty streaming merge.
+func NewMerger(opts MergeOptions) *Merger {
+	return &Merger{
+		opts:    opts,
+		count:   -1,
+		pending: make(map[int]*Artifact),
+		ub:      propgraph.NewUnionBuilder(),
+		res:     &MergeResult{},
+		spansOK: true,
+	}
+}
+
+// Commit validates one artifact against the partitioning seen so far
+// and folds it — plus any parked successors it unblocks — into the
+// union. The artifact's graph must already be checksum-settled (Decode,
+// ReadArtifact, and ReadFile only return settled artifacts). Errors are
+// the package's named sentinels; any error poisons the merge.
+func (m *Merger) Commit(a *Artifact) error {
+	t0 := time.Now()
+	defer func() { m.wall += time.Since(t0) }()
+
+	if a.AnalyzerVersion != fpcache.AnalyzerVersion {
+		return fmt.Errorf("%w: artifact has %q, coordinator has %q",
+			ErrAnalyzerVersion, a.AnalyzerVersion, fpcache.AnalyzerVersion)
+	}
+	if m.count == -1 {
+		m.count = a.Slices
+	}
+	if a.Slices != m.count {
+		return fmt.Errorf("%w: %d vs %d", ErrSliceCount, a.Slices, m.count)
+	}
+	if a.Slice < 0 || a.Slice >= m.count {
+		return fmt.Errorf("%w: slice %d of %d out of range", ErrEncoding, a.Slice, m.count)
+	}
+	if a.Slice < m.next || m.pending[a.Slice] != nil {
+		return fmt.Errorf("%w: slice %d of %d appears twice", ErrDuplicateSlice, a.Slice, m.count)
+	}
+	m.pending[a.Slice] = a
+	m.resident += a.Size
+	if m.resident > m.peak {
+		m.peak = m.resident
+	}
+	for {
+		a := m.pending[m.next]
+		if a == nil {
+			return nil
+		}
+		delete(m.pending, m.next)
+		if err := m.fold(a); err != nil {
+			return err
+		}
+		m.resident -= a.Size
+		m.next++
+	}
+}
+
+// fold appends one slice — the contiguous next one — to the union.
+func (m *Merger) fold(a *Artifact) error {
+	res := m.res
+	if len(a.FileHashes) != len(a.Files) || len(a.FileEvents) != len(a.Files) {
+		m.spansOK = false
+	}
+	base := len(m.ub.Graph().Events)
+	sliceEvents := 0
+	for j := range a.Files {
+		f := &a.Files[j]
+		// Within an artifact the manifest is sorted (the decoder enforces
+		// it); across artifacts strict increase proves the slices are
+		// disjoint cuts of one global ordering.
+		if m.hasPrev && f.Name <= m.prev {
+			return fmt.Errorf("%w: slice %d file %q does not follow %q",
+				ErrSliceOrder, a.Slice, f.Name, m.prev)
+		}
+		m.prev, m.hasPrev = f.Name, true
+		res.Files = append(res.Files, f.Name)
+		res.Hashes = append(res.Hashes, fmt.Sprintf("%x", f.SHA256[:]))
+		if f.ParseError != "" {
+			res.ParseErrorFiles = append(res.ParseErrorFiles, f.Name)
+		}
+		if m.spansOK {
+			lo := base + sliceEvents
+			res.Spans = append(res.Spans, constraints.Span{
+				File: f.Name,
+				Lo:   lo,
+				Hi:   lo + a.FileEvents[j],
+				Hash: a.FileHashes[j],
+			})
+			sliceEvents += a.FileEvents[j]
+		}
+	}
+	// The per-file event counts must tile the slice graph exactly, or
+	// the spans would misattribute events.
+	if m.spansOK && sliceEvents != len(a.Graph.Events) {
+		m.spansOK = false
+		res.Spans = nil
+	}
+	m.ub.Add(a.Graph)
+	res.Bytes += a.Size
+	m.opts.Log.Log("shard.merge", "slice", a.Slice, "of", m.count,
+		"files", len(a.Files), "events", len(a.Graph.Events), "bytes", a.Size)
+	return nil
+}
+
+// Finish validates completeness and returns the merged result. The
+// merger must not be used afterwards.
+func (m *Merger) Finish() (*MergeResult, error) {
+	t0 := time.Now()
+	if m.count == -1 {
+		return nil, fmt.Errorf("%w: no artifacts", ErrMissingSlice)
+	}
+	if m.next < m.count {
+		return nil, fmt.Errorf("%w: slice %d of %d", ErrMissingSlice, m.next, m.count)
+	}
+	res := m.res
+	res.Slices = m.count
+	res.ParseErrors = len(res.ParseErrorFiles)
+	res.CorpusFingerprint = specio.FingerprintHashes(res.Files, res.Hashes)
+	if !m.spansOK {
+		res.Spans = nil
+	}
+	res.Graph = m.ub.Graph()
+	res.PeakBytes = m.peak
+	m.wall += time.Since(t0)
+	res.MergeWall = m.wall
+
+	m.opts.Metrics.ObserveDuration(obs.TimerShardMerge, res.MergeWall)
+	m.opts.Metrics.Set(obs.GaugeShardFiles, float64(len(res.Files)))
+	m.opts.Metrics.Set(obs.GaugeShardBytes, float64(res.Bytes))
+	m.opts.Metrics.Set(obs.GaugeShardSlices, float64(m.count))
+	m.opts.Metrics.Set(obs.GaugeShardMergePeakBytes, float64(res.PeakBytes))
+	return res, nil
 }
 
 // Merge validates arts as a complete partitioning and merges them.
 // Artifact order does not matter — slices are reassembled by index —
 // but the set must be exactly one artifact per slice, all cut from the
 // same corpus ordering by the same analyzer version. Any violation is
-// one of the package's named errors.
+// one of the package's named errors. Merge is the barrier convenience
+// over Merger; the streaming coordinator commits as artifacts arrive.
 func Merge(arts []*Artifact, opts MergeOptions) (*MergeResult, error) {
-	t0 := time.Now()
-	if len(arts) == 0 {
-		return nil, fmt.Errorf("%w: no artifacts", ErrMissingSlice)
-	}
-	count := arts[0].Slices
-	byIdx := make([]*Artifact, count)
+	m := NewMerger(opts)
 	for _, a := range arts {
-		if a.AnalyzerVersion != fpcache.AnalyzerVersion {
-			return nil, fmt.Errorf("%w: artifact has %q, coordinator has %q",
-				ErrAnalyzerVersion, a.AnalyzerVersion, fpcache.AnalyzerVersion)
-		}
-		if a.Slices != count {
-			return nil, fmt.Errorf("%w: %d vs %d", ErrSliceCount, a.Slices, count)
-		}
-		if a.Slice < 0 || a.Slice >= count {
-			return nil, fmt.Errorf("%w: slice %d of %d out of range", ErrEncoding, a.Slice, count)
-		}
-		if byIdx[a.Slice] != nil {
-			return nil, fmt.Errorf("%w: slice %d of %d appears twice", ErrDuplicateSlice, a.Slice, count)
-		}
-		byIdx[a.Slice] = a
-	}
-	for i, a := range byIdx {
-		if a == nil {
-			return nil, fmt.Errorf("%w: slice %d of %d", ErrMissingSlice, i, count)
+		if err := m.Commit(a); err != nil {
+			return nil, err
 		}
 	}
-
-	res := &MergeResult{Slices: count}
-	graphs := make([]*propgraph.Graph, count)
-	prev := ""
-	for i, a := range byIdx {
-		for j := range a.Files {
-			f := &a.Files[j]
-			// Within an artifact the manifest is sorted (Decode enforces
-			// it); across artifacts strict increase proves the slices are
-			// disjoint cuts of one global ordering.
-			if len(res.Files) > 0 && f.Name <= prev {
-				return nil, fmt.Errorf("%w: slice %d file %q does not follow %q",
-					ErrSliceOrder, i, f.Name, prev)
-			}
-			prev = f.Name
-			res.Files = append(res.Files, f.Name)
-			res.Hashes = append(res.Hashes, fmt.Sprintf("%x", f.SHA256[:]))
-			if f.ParseError != "" {
-				res.ParseErrorFiles = append(res.ParseErrorFiles, f.Name)
-			}
-		}
-		graphs[i] = a.Graph
-		res.Bytes += a.Size
-		opts.Log.Log("shard.merge", "slice", a.Slice, "of", count,
-			"files", len(a.Files), "events", len(a.Graph.Events), "bytes", a.Size)
-	}
-	res.ParseErrors = len(res.ParseErrorFiles)
-	res.CorpusFingerprint = specio.FingerprintHashes(res.Files, res.Hashes)
-
-	// The reduce step: one symbol-translating union in slice order.
-	res.Graph = propgraph.Union(graphs...)
-	res.MergeWall = time.Since(t0)
-
-	opts.Metrics.ObserveDuration(obs.TimerShardMerge, res.MergeWall)
-	opts.Metrics.Set(obs.GaugeShardFiles, float64(len(res.Files)))
-	opts.Metrics.Set(obs.GaugeShardBytes, float64(res.Bytes))
-	opts.Metrics.Set(obs.GaugeShardSlices, float64(count))
-	return res, nil
+	return m.Finish()
 }

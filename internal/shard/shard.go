@@ -3,15 +3,17 @@
 //
 // A shard artifact is one worker's output for one deterministic slice of
 // a corpus: a versioned envelope carrying the analyzer version, the
-// slice coordinates (index i of n), a corpus-slice manifest (file names,
-// content sha256s, parse-error text), and the slice's merged propagation
-// graph in propgraph's v2 binary codec with its per-shard symbol table.
-// The whole artifact is sha256-checksummed like an fpcache entry — but
-// where a corrupt cache entry is silently re-analyzed, a corrupt shard
-// artifact is a hard, named error: the coordinator is reassembling a
-// corpus from pieces it cannot recompute, so truncation, bit flips,
-// stale codecs, duplicate slices, and missing slices each fail loudly
-// and distinctly (see the Err* sentinels).
+// slice coordinates (index i of n), and one section per corpus file —
+// the file's manifest entry (name, content sha256, parse-error text),
+// an optional fpcache sidecar entry (content-addressed cache key plus
+// recorded analysis cost), and the file's propagation graph in
+// propgraph's v2 binary codec with a per-shard symbol table. The whole
+// artifact is sha256-checksummed like an fpcache entry — but where a
+// corrupt cache entry is silently re-analyzed, a corrupt shard artifact
+// is a hard, named error: the coordinator is reassembling a corpus from
+// pieces it cannot recompute, so truncation, bit flips, stale codecs,
+// duplicate slices, and missing slices each fail loudly and distinctly
+// (see the Err* sentinels).
 //
 // Envelope layout (all integers varint unless noted):
 //
@@ -21,10 +23,21 @@
 //	payload:
 //	  analyzer version (length-prefixed string)
 //	  slice index, slice count (uvarint, index < count)
+//	  flags (1 byte; bit 0 = fpcache sidecar present, others zero)
 //	  file count (uvarint), then per file in sorted name order:
 //	    name (string), content sha256 (32 raw bytes), parse error (string)
-//	  propagation graph (propgraph v2 binary codec, symbol table included)
+//	    [flags bit 0] fpcache key (32 raw bytes), analysis cost (uvarint ns)
+//	    graph length (uvarint), graph (propgraph v2 binary codec)
 //	sha256 checksum over everything before it (32 bytes)
+//
+// Codec v2 interleaves per-file graph sections (v1 carried one merged
+// slice graph) so an artifact can be decoded as a stream: NewReader
+// yields the header, then one verified file section at a time, with the
+// running checksum settled before any decoded data is acted on — peak
+// decode memory is one file section, not the artifact. The slice graph
+// is reassembled as the disjoint union of the per-file graphs in
+// manifest order, which is exactly how the worker built it, so nothing
+// changes byte-wise downstream.
 //
 // Determinism: slices are contiguous blocks of the corpus's sorted
 // file-name order (core.SliceNames, corpus.Slice), each worker merges
@@ -36,6 +49,8 @@
 package shard
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -43,21 +58,38 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"seldon/internal/propgraph"
 )
 
 const (
 	magic = "SSHD"
-	// codecVersion 1 wraps propgraph's binary codec v2; bump it whenever
-	// the envelope layout changes. A version skew is a named error, not a
-	// silent re-analyze — the coordinator cannot rebuild a shard it did
-	// not analyze.
-	codecVersion = 1
+	// codecVersion 2 interleaves per-file manifest + sidecar + graph
+	// sections (v1 carried one slice-merged graph after the manifest);
+	// bump it whenever the envelope layout changes. A version skew is a
+	// named error, not a silent re-analyze — the coordinator cannot
+	// rebuild a shard it did not analyze.
+	codecVersion = 2
 	checksumSize = sha256.Size
 	// headerMin is magic + version byte + at least one length byte.
 	headerMin = len(magic) + 2
+
+	// flagSidecar marks artifacts carrying the fpcache sidecar (per-file
+	// cache key + recorded cost alongside the graph bytes).
+	flagSidecar = 0x01
+
+	// maxPayloadLen guards the declared payload length against
+	// overflow-scale garbage; anything under it that exceeds the bytes in
+	// hand is ordinary truncation.
+	maxPayloadLen = 1 << 40
 )
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
 
 // Named ingestion errors. Every way an artifact can be unusable has a
 // distinct sentinel so the coordinator (and its tests) can tell a
@@ -109,7 +141,8 @@ type FileMeta struct {
 }
 
 // Artifact is one decoded shard: the manifest of the corpus slice it
-// covers and the slice's merged propagation graph.
+// covers and the slice's merged propagation graph, plus the per-file
+// facts the streaming merge derives span and sidecar data from.
 type Artifact struct {
 	// AnalyzerVersion names the front-end semantics the shard was
 	// analyzed under (fpcache.AnalyzerVersion).
@@ -121,32 +154,69 @@ type Artifact struct {
 	// Graph is the union of the slice's per-file propagation graphs,
 	// with its own symbol table.
 	Graph *propgraph.Graph
-	// Size is the artifact's encoded size in bytes; set by Decode (0 for
-	// artifacts built in-process).
+	// FileGraphs holds the per-file graphs in manifest order. Set by
+	// Build (the worker side); Encode requires it — codec v2 ships one
+	// graph section per file. Decoding does not reconstruct it (the
+	// sections are folded into Graph as they stream), so a decoded
+	// artifact cannot be re-encoded.
+	FileGraphs []*propgraph.Graph
+	// FileHashes is the sha256 of each file's encoded graph section and
+	// FileEvents its event count, both in manifest order — what the
+	// coordinator needs to hand constraints.BuildIncremental its spans.
+	FileHashes [][32]byte
+	FileEvents []int
+	// Sidecar marks the fpcache sidecar as present: SidecarKeys carries
+	// each file's content-addressed cache key (fpcache.KeyBytes) and
+	// SidecarCosts its recorded parse+dataflow cost, in manifest order.
+	Sidecar      bool
+	SidecarKeys  [][32]byte
+	SidecarCosts []time.Duration
+	// Size is the artifact's encoded size in bytes; set by decoding (0
+	// for artifacts built in-process).
 	Size int64
-}
-
-func appendString(dst []byte, s string) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(s)))
-	return append(dst, s...)
 }
 
 // Encode renders the artifact in the wire format. The bytes are a pure
 // function of the artifact (the embedded graph codec is deterministic
 // and the manifest is ordered), so identical shards encode identically.
+// The artifact must carry its per-file graphs (FileGraphs aligned with
+// Files) — codec v2 has no whole-slice graph section, so an artifact
+// assembled without them (notably one that came out of a decoder)
+// cannot be encoded.
 func (a *Artifact) Encode() []byte {
+	if len(a.FileGraphs) != len(a.Files) {
+		panic(fmt.Sprintf("shard: Encode: %d file graphs for %d manifest entries (decoded artifacts cannot re-encode)",
+			len(a.FileGraphs), len(a.Files)))
+	}
+	sidecar := a.Sidecar
+	if sidecar && (len(a.SidecarKeys) != len(a.Files) || len(a.SidecarCosts) != len(a.Files)) {
+		panic("shard: Encode: sidecar flagged but keys/costs are not aligned with the manifest")
+	}
+
 	payload := make([]byte, 0, 4096)
 	payload = appendString(payload, a.AnalyzerVersion)
 	payload = binary.AppendUvarint(payload, uint64(a.Slice))
 	payload = binary.AppendUvarint(payload, uint64(a.Slices))
+	var flags byte
+	if sidecar {
+		flags |= flagSidecar
+	}
+	payload = append(payload, flags)
 	payload = binary.AppendUvarint(payload, uint64(len(a.Files)))
+	var graphBuf []byte
 	for i := range a.Files {
 		f := &a.Files[i]
 		payload = appendString(payload, f.Name)
 		payload = append(payload, f.SHA256[:]...)
 		payload = appendString(payload, f.ParseError)
+		if sidecar {
+			payload = append(payload, a.SidecarKeys[i][:]...)
+			payload = binary.AppendUvarint(payload, uint64(a.SidecarCosts[i]))
+		}
+		graphBuf = a.FileGraphs[i].AppendBinary(graphBuf[:0])
+		payload = binary.AppendUvarint(payload, uint64(len(graphBuf)))
+		payload = append(payload, graphBuf...)
 	}
-	payload = a.Graph.AppendBinary(payload)
 
 	out := make([]byte, 0, headerMin+len(payload)+checksumSize+8)
 	out = append(out, magic...)
@@ -157,145 +227,71 @@ func (a *Artifact) Encode() []byte {
 	return append(out, sum[:]...)
 }
 
-// payloadReader is a cursor over the checksummed payload; the first
-// failed read latches err (wrapping ErrEncoding — the checksum already
-// held, so a short or malformed field is an encoder-level fault, not
-// line noise).
-type payloadReader struct {
-	data []byte
-	err  error
-}
-
-func (r *payloadReader) fail(format string, args ...any) {
-	if r.err == nil {
-		r.err = fmt.Errorf("%w: "+format, append([]any{ErrEncoding}, args...)...)
-	}
-}
-
-func (r *payloadReader) uvarint(what string) uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.data)
-	if n <= 0 {
-		r.fail("bad %s", what)
-		return 0
-	}
-	r.data = r.data[n:]
-	return v
-}
-
-func (r *payloadReader) string(what string) string {
-	n := r.uvarint(what + " length")
-	if r.err != nil {
-		return ""
-	}
-	if n > uint64(len(r.data)) {
-		r.fail("%s length %d exceeds remaining %d bytes", what, n, len(r.data))
-		return ""
-	}
-	s := string(r.data[:n])
-	r.data = r.data[n:]
-	return s
-}
-
-func (r *payloadReader) bytes32(what string) (out [checksumSize]byte) {
-	if r.err != nil {
-		return
-	}
-	if len(r.data) < checksumSize {
-		r.fail("short %s", what)
-		return
-	}
-	copy(out[:], r.data)
-	r.data = r.data[checksumSize:]
-	return
-}
-
-// Decode parses one artifact occupying the whole of data. Every failure
-// mode maps to one of the package's named errors; a partial artifact is
-// never returned.
-func Decode(data []byte) (*Artifact, error) {
+// verifyEnvelope checks the whole-buffer framing invariants — magic,
+// codec version, declared length vs bytes in hand, trailing bytes, and
+// the checksum — before any payload parsing, preserving the sentinel
+// priorities of whole-buffer decoding (a flipped payload byte is
+// ErrChecksum, never a parse error).
+func verifyEnvelope(data []byte) error {
 	if len(data) < len(magic) {
-		return nil, fmt.Errorf("%w: %d bytes, shorter than the magic", ErrTruncated, len(data))
+		return fmt.Errorf("%w: %d bytes, shorter than the magic", ErrTruncated, len(data))
 	}
 	if string(data[:len(magic)]) != magic {
-		return nil, fmt.Errorf("%w: %q", ErrMagic, data[:len(magic)])
+		return fmt.Errorf("%w: %q", ErrMagic, data[:len(magic)])
 	}
 	if len(data) < headerMin {
-		return nil, fmt.Errorf("%w: %d bytes, header incomplete", ErrTruncated, len(data))
+		return fmt.Errorf("%w: %d bytes, header incomplete", ErrTruncated, len(data))
 	}
 	if v := data[len(magic)]; v != codecVersion {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrCodecVersion, v, codecVersion)
+		return fmt.Errorf("%w: got %d, want %d", ErrCodecVersion, v, codecVersion)
 	}
 	rest := data[len(magic)+1:]
 	payloadLen, n := binary.Uvarint(rest)
 	if n == 0 {
-		return nil, fmt.Errorf("%w: header length field incomplete", ErrTruncated)
+		return fmt.Errorf("%w: header length field incomplete", ErrTruncated)
 	}
 	// Guard only against overflow-scale lengths here; a declared length
 	// that merely exceeds the bytes in hand is truncation, caught below.
-	if n < 0 || payloadLen > 1<<40 {
-		return nil, fmt.Errorf("%w: implausible payload length %d", ErrEncoding, payloadLen)
+	if n < 0 || payloadLen > maxPayloadLen {
+		return fmt.Errorf("%w: implausible payload length %d", ErrEncoding, payloadLen)
 	}
 	headerLen := len(magic) + 1 + n
 	total := headerLen + int(payloadLen) + checksumSize
 	if len(data) < total {
-		return nil, fmt.Errorf("%w: have %d bytes, envelope declares %d", ErrTruncated, len(data), total)
+		return fmt.Errorf("%w: have %d bytes, envelope declares %d", ErrTruncated, len(data), total)
 	}
 	if len(data) > total {
-		return nil, fmt.Errorf("%w: %d extra bytes", ErrTrailing, len(data)-total)
+		return fmt.Errorf("%w: %d extra bytes", ErrTrailing, len(data)-total)
 	}
 	body, sum := data[:total-checksumSize], data[total-checksumSize:]
 	if want := sha256.Sum256(body); string(want[:]) != string(sum) {
-		return nil, ErrChecksum
+		return ErrChecksum
 	}
-
-	r := &payloadReader{data: body[headerLen:]}
-	a := &Artifact{Size: int64(len(data))}
-	a.AnalyzerVersion = r.string("analyzer version")
-	a.Slice = int(r.uvarint("slice index"))
-	a.Slices = int(r.uvarint("slice count"))
-	if r.err == nil && (a.Slices < 1 || a.Slice >= a.Slices) {
-		r.fail("slice %d of %d out of range", a.Slice, a.Slices)
-	}
-	numFiles := r.uvarint("file count")
-	if r.err == nil && numFiles > uint64(len(r.data)) {
-		r.fail("file count %d exceeds remaining %d bytes", numFiles, len(r.data))
-	}
-	if r.err == nil && numFiles > 0 {
-		a.Files = make([]FileMeta, 0, numFiles)
-		for i := 0; i < int(numFiles) && r.err == nil; i++ {
-			f := FileMeta{Name: r.string("file name")}
-			f.SHA256 = r.bytes32("file hash")
-			f.ParseError = r.string("parse error")
-			if r.err == nil && i > 0 && f.Name <= a.Files[i-1].Name {
-				r.fail("manifest not in sorted order at %q", f.Name)
-			}
-			a.Files = append(a.Files, f)
-		}
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	g, tail, err := propgraph.DecodeBinary(r.data)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
-	}
-	if len(tail) != 0 {
-		return nil, fmt.Errorf("%w: %d bytes after graph", ErrEncoding, len(tail))
-	}
-	a.Graph = g
-	return a, nil
+	return nil
 }
 
-// ReadFile loads and decodes one artifact from path.
-func ReadFile(path string) (*Artifact, error) {
-	data, err := os.ReadFile(path)
+// Decode parses one artifact occupying the whole of data. Every failure
+// mode maps to one of the package's named errors; a partial artifact is
+// never returned. The envelope framing and checksum are verified before
+// the payload is parsed, then the same streaming section reader the
+// pipe/file paths use consumes the buffer.
+func Decode(data []byte) (*Artifact, error) {
+	if err := verifyEnvelope(data); err != nil {
+		return nil, err
+	}
+	return ReadArtifact(bytes.NewReader(data), ReadOptions{})
+}
+
+// ReadFile streams one artifact from path through the incremental
+// decoder (peak memory: one file section plus the accumulating slice
+// graph, not the encoded artifact).
+func ReadFile(path string, opts ReadOptions) (*Artifact, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	a, err := Decode(data)
+	defer f.Close()
+	a, err := ReadArtifact(bufio.NewReaderSize(f, 64<<10), opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

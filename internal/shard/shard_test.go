@@ -75,7 +75,7 @@ func TestWriteFileReadFile(t *testing.T) {
 	if fi, err := os.Stat(path); err != nil || fi.Size() != n {
 		t.Fatalf("wrote %d bytes, stat says %v, %v", n, fi, err)
 	}
-	got, err := ReadFile(path)
+	got, err := ReadFile(path, ReadOptions{})
 	if err != nil {
 		t.Fatalf("ReadFile: %v", err)
 	}
@@ -145,13 +145,15 @@ func TestDecodeBadPayload(t *testing.T) {
 		{"zero slices", out(&Artifact{AnalyzerVersion: "v", Slice: 0, Slices: 0, Graph: empty})},
 		{"unsorted manifest", out(&Artifact{
 			AnalyzerVersion: "v", Slice: 0, Slices: 1,
-			Files: []FileMeta{{Name: "b.py"}, {Name: "a.py"}},
-			Graph: empty,
+			Files:      []FileMeta{{Name: "b.py"}, {Name: "a.py"}},
+			FileGraphs: []*propgraph.Graph{empty, empty},
+			Graph:      empty,
 		})},
 		{"duplicate manifest name", out(&Artifact{
 			AnalyzerVersion: "v", Slice: 0, Slices: 1,
-			Files: []FileMeta{{Name: "a.py"}, {Name: "a.py"}},
-			Graph: empty,
+			Files:      []FileMeta{{Name: "a.py"}, {Name: "a.py"}},
+			FileGraphs: []*propgraph.Graph{empty, empty},
+			Graph:      empty,
 		})},
 	}
 	for _, tc := range tests {
